@@ -1,0 +1,29 @@
+# Convenience targets for the FEAM reproduction.
+
+PYTHON ?= python3
+
+.PHONY: install test bench tables report examples clean
+
+install:
+	pip install -e .
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+tables:
+	$(PYTHON) -m repro all
+
+report:
+	$(PYTHON) -m repro report
+
+examples:
+	for script in examples/*.py; do \
+		echo "== $$script"; $(PYTHON) $$script > /dev/null || exit 1; \
+	done
+
+clean:
+	find . -name __pycache__ -type d -exec rm -rf {} + 2>/dev/null; true
+	rm -rf .pytest_cache .benchmarks src/repro.egg-info

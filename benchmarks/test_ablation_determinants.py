@@ -1,0 +1,48 @@
+"""Determinant ablation (DESIGN.md design-choice study).
+
+How much does each of the four determinants contribute to prediction
+accuracy?  Replays the recorded determinant outcomes with subsets of the
+model enabled.
+"""
+
+from repro.core.prediction import Determinant
+from repro.evaluation.ablation import (
+    determinant_ablation,
+    render_determinant_ablation,
+)
+
+
+def test_determinant_ablation_render(experiment_result):
+    rows = determinant_ablation(experiment_result.records, mode="basic")
+    print()
+    print(render_determinant_ablation(rows))
+    by_subset = {row.enabled: row for row in rows}
+    full = by_subset[tuple(d.value for d in Determinant)]
+    nothing = by_subset[()]
+    # The full model beats the no-model baseline...
+    assert full.accuracy > nothing.accuracy
+    # ...and every leave-one-out model is at most as accurate as the full
+    # model (each determinant contributes or is neutral, never harmful).
+    for excluded in Determinant:
+        subset = tuple(d.value for d in Determinant if d is not excluded)
+        assert by_subset[subset].accuracy <= full.accuracy + 1e-9
+
+
+def test_shared_libraries_is_the_strongest_single_determinant(
+        experiment_result):
+    """Missing shared libraries dominate failures (Section VI.C), so the
+    shared-library determinant alone should beat each other single
+    determinant."""
+    rows = determinant_ablation(experiment_result.records, mode="basic")
+    singles = {row.enabled[0]: row.accuracy
+               for row in rows if len(row.enabled) == 1}
+    shared = singles[Determinant.SHARED_LIBRARIES.value]
+    for name, accuracy in singles.items():
+        if name != Determinant.SHARED_LIBRARIES.value:
+            assert shared >= accuracy, (name, singles)
+
+
+def test_ablation_computation_bench(benchmark, experiment_result):
+    rows = benchmark(determinant_ablation, experiment_result.records,
+                     "basic")
+    assert len(rows) == 1 + 4 + 4 + 1  # full, leave-one-out, singles, none

@@ -1,0 +1,42 @@
+"""Resolution-depth ablation (DESIGN.md design-choice study).
+
+How deep must the recursive copy-usability analysis recurse?  Reruns a
+reduced experiment at increasing ``max_resolution_depth`` limits.
+"""
+
+import pytest
+
+from repro.corpus.benchmarks import Suite
+from repro.evaluation.ablation import (
+    render_depth_ablation,
+    resolution_depth_ablation,
+)
+
+
+@pytest.fixture(scope="module")
+def depth_rows():
+    return resolution_depth_ablation(depths=(0, 1, 2, 8), corpus_size=25)
+
+
+def test_depth_ablation_render(depth_rows):
+    print()
+    print(render_depth_ablation(depth_rows))
+
+
+def test_deeper_resolution_never_hurts(depth_rows):
+    """Success after resolution is monotone in the depth limit."""
+    for suite in Suite:
+        rates = [row.after_success[suite] for row in depth_rows]
+        assert all(b >= a - 1e-9 for a, b in zip(rates, rates[1:])), rates
+
+
+def test_recursion_is_needed(depth_rows):
+    """Depth >= 1 stages more copies than depth 0: transitive
+    dependencies (e.g. libifcore -> libimf) require recursion."""
+    assert depth_rows[-1].staged_total > depth_rows[0].staged_total
+
+
+def test_shallow_depth_suffices(depth_rows):
+    """The paper's library graphs are shallow: depth 2 achieves what
+    depth 8 does."""
+    assert depth_rows[2].after_success == depth_rows[3].after_success

@@ -1,0 +1,45 @@
+"""Section VI.C in-text measurements.
+
+Regenerates the phase-duration, bundle-size and failure-breakdown numbers
+the paper reports in prose, and benchmarks the underlying source phase.
+"""
+
+from repro.evaluation.metrics import failure_breakdown, missing_library_share
+from repro.evaluation.tables import render_intext
+
+
+def test_intext_render_and_claims(experiment_result):
+    print()
+    print(render_intext(experiment_result))
+    # "less than five minutes"
+    assert experiment_result.max_source_phase_seconds < 300
+    assert experiment_result.max_target_phase_seconds < 300
+    # "more than half were missing shared libraries"
+    assert missing_library_share(experiment_result.records) > 0.5
+    # bundle sizes in the tens of MB, like the paper's 45 MB average
+    sizes = experiment_result.bundle_bytes_by_site
+    assert all(10e6 < s < 100e6 for s in sizes.values())
+
+
+def test_failure_breakdown_bench(benchmark, experiment_result):
+    breakdown = benchmark(failure_breakdown, experiment_result.records)
+    assert breakdown["missing-shared-library"] > 0
+
+
+def test_source_phase_bench(benchmark, paper_sites):
+    """Latency of a full source phase (describe + copy + hello compiles)."""
+    from repro.core import Feam
+    from repro.toolchain.compilers import Language
+
+    forge = next(s for s in paper_sites if s.name == "forge")
+    stack = forge.find_stack("openmpi-1.4-intel")
+    app = forge.compile_mpi_program("srcbench", Language.FORTRAN, stack)
+    forge.machine.fs.write("/home/user/srcbench", app.image, mode=0o755)
+    feam = Feam()
+    env = forge.env_with_stack(stack)
+
+    bundle = benchmark(feam.run_source_phase, forge,
+                       "/home/user/srcbench", env=env)
+    assert bundle.copied_count > 5
+    print(f"\nbundle: {bundle.copied_count} copies, "
+          f"{bundle.copy_bytes / 1e6:.1f} MB")

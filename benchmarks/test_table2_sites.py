@@ -1,0 +1,32 @@
+"""Table II: target site characteristics.
+
+Regenerates the site-characteristics table and benchmarks full site
+materialisation (filesystem + hundreds of ELF installs).
+"""
+
+from repro.evaluation.tables import render_table2
+from repro.sites.catalog import PAPER_SITE_SPECS
+from repro.sites.site import Site
+
+
+def test_table2_render():
+    print()
+    print(render_table2())
+
+
+def test_site_build_bench(benchmark):
+    spec = PAPER_SITE_SPECS[-1]  # fir: the largest (9 stacks)
+
+    site = benchmark(lambda: Site(spec, seed=1))
+    assert len(site.stacks) == 9
+    # The build populated genuine ELF images.
+    assert site.machine.fs.is_file("/opt/openmpi-1.4-intel/lib/libmpi.so.0")
+
+
+def test_all_sites_build_bench(benchmark):
+    def build_all():
+        return [Site(spec, seed=2) for spec in PAPER_SITE_SPECS]
+
+    sites = benchmark.pedantic(build_all, rounds=3, iterations=1)
+    assert [s.name for s in sites] == [
+        "ranger", "forge", "blacklight", "india", "fir"]

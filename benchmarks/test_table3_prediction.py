@@ -1,0 +1,49 @@
+"""Table III: accuracy of the prediction model.
+
+Prints the regenerated table (measured vs paper) and benchmarks the
+accuracy computation plus a single live FEAM target-phase prediction.
+"""
+
+from repro.corpus.benchmarks import Suite
+from repro.evaluation.metrics import accuracy_table
+from repro.evaluation.tables import PAPER_TABLE3, render_table3
+
+
+def test_table3_render_and_shape(experiment_result):
+    print()
+    print(render_table3(experiment_result))
+    acc = accuracy_table(experiment_result.records)
+    for suite in Suite:
+        assert acc[suite]["basic"] > 0.90
+        assert acc[suite]["extended"] >= acc[suite]["basic"]
+        # Within a few points of the paper's published accuracy.
+        assert abs(acc[suite]["basic"] - PAPER_TABLE3[suite]["basic"]) < 0.06
+        assert abs(acc[suite]["extended"]
+                   - PAPER_TABLE3[suite]["extended"]) < 0.06
+
+
+def test_accuracy_computation_bench(benchmark, experiment_result):
+    records = experiment_result.records
+    table = benchmark(accuracy_table, records)
+    assert set(table) == set(Suite)
+
+
+def test_single_prediction_bench(benchmark, paper_sites):
+    """Latency of one basic target-phase prediction (binary present)."""
+    from repro.core import Feam
+    from repro.toolchain.compilers import Language
+
+    by_name = {s.name: s for s in paper_sites}
+    fir, india = by_name["fir"], by_name["india"]
+    stack = fir.find_stack("openmpi-1.4-gnu")
+    app = fir.compile_mpi_program("bench-app", Language.FORTRAN, stack)
+    india.machine.fs.write("/home/user/bench-app", app.image, mode=0o755)
+    feam = Feam()
+    # Warm the discovery cache (the paper's EDC also runs once per site).
+    feam.run_target_phase(india, binary_path="/home/user/bench-app",
+                          staging_tag="warm")
+
+    report = benchmark(
+        feam.run_target_phase, india,
+        binary_path="/home/user/bench-app", staging_tag="bench")
+    assert report.prediction is not None

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Describe a real binary on this machine with FEAM's BDC.
+
+Runs the Binary Description Component against an actual ELF binary on the
+host (default ``/bin/ls``), prints the paper's Figure 3 information, then
+resolves the binary's dependencies with our own dynamic-loader model over
+the real filesystem and cross-checks the result against the system's real
+``ldd``.
+
+Run:  python examples/describe_host_binary.py [path-to-binary]
+"""
+
+import shutil
+import subprocess
+import sys
+
+from repro.core.description import BinaryDescriptionComponent
+from repro.host import host_machine, host_toolbox
+
+
+def main() -> int:
+    path = sys.argv[1] if len(sys.argv) > 1 else "/bin/ls"
+    toolbox = host_toolbox()
+    machine = toolbox.machine
+
+    print(f"host: {machine.hostname} ({machine.arch}, "
+          f"{machine.distro.family} {machine.distro.version})\n")
+
+    bdc = BinaryDescriptionComponent(toolbox)
+    try:
+        description = bdc.describe(path)
+    except Exception as exc:
+        print(f"cannot describe {path}: {exc}")
+        return 1
+
+    print(f"binary description of {path} (Figure 3 information):")
+    print(f"  format:         {description.file_format} "
+          f"({description.isa_name}, {description.bits}-bit)")
+    print(f"  dynamic:        {description.is_dynamic}")
+    print(f"  required glibc: {description.required_glibc}")
+    print(f"  mpi impl:       {description.mpi_implementation or '(not an MPI binary)'}")
+    print(f"  toolchain:      {description.build_compiler_hint or '(no .comment)'}")
+    print("  needed:")
+    for soname in description.needed:
+        print(f"    {soname}")
+
+    # Resolve with OUR loader model against the real filesystem.
+    print("\nresolution by our ld.so model (real filesystem):")
+    report = machine.loader.resolve(machine.fs.read(path), machine.env,
+                                    origin=path)
+    for entry in report.entries:
+        print(f"  {entry.soname:<28} => {entry.path or 'NOT FOUND'}")
+    for error in report.version_errors:
+        print(f"  version error: {error.message()}")
+    print(f"  verdict: {'loads' if report.ok else 'WILL NOT LOAD'}")
+
+    # Cross-check against the real ldd.
+    if shutil.which("ldd"):
+        out = subprocess.run(["ldd", path], capture_output=True,
+                             text=True).stdout
+        real_missing = [line.split("=>")[0].strip()
+                        for line in out.splitlines() if "not found" in line]
+        ours_missing = report.missing_sonames
+        agree = set(real_missing) == set(ours_missing)
+        print(f"\nreal ldd reports {len(real_missing)} missing; "
+              f"our model reports {len(ours_missing)} missing "
+              f"-> {'AGREE' if agree else 'DISAGREE'}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Where FEAM's prediction model is blind -- demonstrated live.
+
+The paper reports >90% accuracy; this example shows the three mechanisms
+behind the remaining errors, each reproduced end-to-end:
+
+1. **System errors** -- daemon spawn failures and time-outs strike after
+   every determinant passed (the paper's own stated limitation).
+2. **Compute-node divergence** -- FEAM's discovery runs on the login
+   node; when compute images have drifted, "ready" binaries still die.
+3. **Static binaries** -- with no DT_NEEDED entries, Table I's
+   identification cannot see the MPI implementation at all.
+
+Run:  python examples/limitations.py
+"""
+
+from repro.core import Feam
+from repro.mpi.implementations import open_mpi
+from repro.mpi.stack import Interconnect
+from repro.sites.scheduler import SchedulerFlavor
+from repro.sites.site import Site, SiteSpec, StackRequest
+from repro.sysmodel.distro import CENTOS_5_6
+from repro.toolchain.compilers import CompilerFamily, Language, RuntimeDep
+
+
+def make_site(name, **overrides) -> Site:
+    spec = dict(
+        name=name, display_name=name, organization="demo",
+        site_type="Cluster", cores=128, arch="x86_64",
+        distro=CENTOS_5_6, libc_version="2.5",
+        system_gnu_version="4.1.2", vendor_compilers=(),
+        stacks=(StackRequest(open_mpi("1.4"), CompilerFamily.GNU),),
+        interconnect=Interconnect.INFINIBAND,
+        module_system="modules", scheduler_flavor=SchedulerFlavor.PBS)
+    spec.update(overrides)
+    return Site(SiteSpec(**spec), seed=777)
+
+
+def main() -> None:
+    feam = Feam()
+    donor = make_site("donor")
+    stack = donor.find_stack("openmpi-1.4-gnu")
+
+    print("=" * 68)
+    print("1. system errors strike after a correct READY verdict")
+    print("=" * 68)
+    target = make_site("flaky-target")
+    app = donor.compile_mpi_program("app-sys", Language.C, stack)
+    target.machine.fs.write("/home/user/app-sys", app.image, mode=0o755)
+    report = feam.run_target_phase(target, binary_path="/home/user/app-sys",
+                                   staging_tag="sys")
+    print(f"FEAM verdict: {'READY' if report.ready else 'NOT READY'} "
+          f"(every determinant passed)")
+    run_stack = target.stack_by_prefix(report.selected_stack_prefix)
+    result = target.run_with_retries(
+        "app-sys", app.image, run_stack,
+        env=report.run_environment,
+        curse_probability=1.0)  # force the unlucky pair
+    print(f"actual outcome: {result.failure}")
+    print("-> unpredictable by design; the paper: 'Our model was unable "
+          "to\n   predict failures due to system errors'\n")
+
+    print("=" * 68)
+    print("2. compute-node divergence defeats login-node discovery")
+    print("=" * 68)
+    diverged = make_site(
+        "diverged",
+        compute_node_missing=("/usr/lib64/libz.so.1",
+                              "/usr/lib64/libz.so.1.2.3"))
+    app2 = donor.compile_mpi_program(
+        "app-z", Language.C, stack, extra_deps=(RuntimeDep("libz.so.1"),))
+    diverged.machine.fs.write("/home/user/app-z", app2.image, mode=0o755)
+    report2 = feam.run_target_phase(diverged, binary_path="/home/user/app-z",
+                                    staging_tag="div")
+    print(f"FEAM verdict: {'READY' if report2.ready else 'NOT READY'} "
+          f"(libz.so.1 is present on the login node)")
+    run_stack2 = diverged.stack_by_prefix(report2.selected_stack_prefix)
+    result2 = diverged.run_with_retries(
+        "app-z", app2.image, run_stack2, env=report2.run_environment)
+    print(f"actual outcome: {result2.failure}")
+    print("-> FEAM has no access to compute-node filesystems\n")
+
+    print("=" * 68)
+    print("3. static binaries hide their MPI implementation")
+    print("=" * 68)
+    static_donor = make_site(
+        "static-donor",
+        stacks=(StackRequest(open_mpi("1.4"), CompilerFamily.GNU,
+                             static_libs=True),))
+    sstack = static_donor.find_stack("openmpi-1.4-gnu")
+    app3 = static_donor.compile_mpi_program("app-static", Language.C,
+                                            sstack, static=True)
+    target3 = make_site("static-target")
+    target3.machine.fs.write("/home/user/app-static", app3.image,
+                             mode=0o755)
+    report3 = feam.run_target_phase(
+        target3, binary_path="/home/user/app-static", staging_tag="st")
+    print(f"FEAM verdict: {'READY' if report3.ready else 'NOT READY'}")
+    print(f"identified MPI implementation: "
+          f"{report3.prediction.selected_stack or '(none -- no NEEDED entries)'}")
+    print("-> Table I's identification reads link-level dependencies; a\n"
+          "   static binary has none, so no stack is tested or selected")
+
+
+if __name__ == "__main__":
+    main()

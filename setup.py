@@ -1,0 +1,5 @@
+"""Legacy setuptools shim; the project metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,99 @@
+"""Command-line entry point.
+
+``python -m repro <what>`` regenerates the paper's tables and figures:
+
+* ``table1`` .. ``table4`` -- the paper's Tables I-IV;
+* ``intext`` -- the Section VI.C in-text measurements (phase durations,
+  bundle sizes, failure breakdown);
+* ``fig1`` .. ``fig4`` -- Figures 1-4 (textual);
+* ``matrix`` -- per-site-pair migration outcomes (beyond the paper);
+* ``effort`` -- the user-effort quantification (the paper's future work);
+* ``ablation`` -- the determinant-ablation study;
+* ``all`` -- everything (one experiment run is shared).
+
+Everything past the figures requires running the full evaluation (about
+half a minute); one run is shared across all requested artifacts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+from repro.evaluation import figures, tables
+from repro.evaluation.experiment import ExperimentResult, run_experiment
+
+_STATIC = {
+    "table1": tables.render_table1,
+    "table2": tables.render_table2,
+    "fig1": figures.render_figure1,
+    "fig2": figures.render_figure2,
+    "fig3": figures.render_figure3,
+    "fig4": figures.render_figure4,
+}
+
+def _render_effort(result: ExperimentResult) -> str:
+    from repro.evaluation.effort import render_effort
+    return render_effort(result.records)
+
+
+def _render_ablation(result: ExperimentResult) -> str:
+    from repro.evaluation.ablation import (
+        determinant_ablation,
+        render_determinant_ablation,
+    )
+    return render_determinant_ablation(
+        determinant_ablation(result.records, mode="basic"))
+
+
+def _render_report(result: ExperimentResult) -> str:
+    from repro.evaluation.reportgen import render_markdown_report
+    return render_markdown_report(result)
+
+
+_EXPERIMENTAL = {
+    "table3": tables.render_table3,
+    "table4": tables.render_table4,
+    "intext": tables.render_intext,
+    "matrix": tables.render_site_matrix,
+    "effort": _render_effort,
+    "ablation": _render_ablation,
+    "report": _render_report,
+}
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate the FEAM paper's tables and figures.")
+    parser.add_argument(
+        "what", nargs="+",
+        choices=sorted(_STATIC) + sorted(_EXPERIMENTAL) + ["all"],
+        help="which artifact(s) to regenerate")
+    parser.add_argument(
+        "--seed", type=int, default=20130101,
+        help="experiment seed (default: 20130101)")
+    args = parser.parse_args(argv)
+
+    wanted = list(args.what)
+    if "all" in wanted:
+        wanted = sorted(_STATIC) + sorted(_EXPERIMENTAL)
+
+    result: Optional[ExperimentResult] = None
+    for what in wanted:
+        if what in _STATIC:
+            print(_STATIC[what]())
+        else:
+            if result is None:
+                print("running the full evaluation "
+                      "(compile matrix + 800+ migrations)...",
+                      file=sys.stderr)
+                from repro.evaluation.experiment import ExperimentConfig
+                result = run_experiment(ExperimentConfig(seed=args.seed))
+            print(_EXPERIMENTAL[what](result))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

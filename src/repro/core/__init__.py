@@ -1,0 +1,77 @@
+"""FEAM: the Framework for Efficient Application Migration.
+
+The paper's contribution (Sections III-V), organised as its three
+components and two phases:
+
+* :mod:`repro.core.description` -- the Binary Description Component (BDC):
+  gathers the Figure 3 information about a binary and its dependencies via
+  ``objdump -p``/``readelf``/``ldd`` with documented fallbacks, identifies
+  the MPI implementation per Table I, and collects library copies at a
+  guaranteed execution environment.
+* :mod:`repro.core.discovery` -- the Environment Discovery Component (EDC):
+  gathers the Figure 4 information about a site (ISA, OS, C-library
+  version, MPI stacks via Environment Modules / SoftEnv / path search).
+* :mod:`repro.core.evaluation` -- the Target Evaluation Component (TEC):
+  applies the four-determinant prediction model (Figure 1), tests MPI
+  stacks with hello-world programs, and applies the resolution model.
+* :mod:`repro.core.resolution` -- the resolution model (Section IV):
+  recursive usability analysis of library copies and runtime staging.
+* :mod:`repro.core.feam` -- the orchestrator: the optional *source phase*
+  at a guaranteed execution environment and the required *target phase*.
+
+Everything here interacts with sites only through the emulated Unix tools
+(:mod:`repro.tools`), the module-system files, and the batch scheduler --
+the interfaces the real FEAM has.
+"""
+
+from repro.core.config import FeamConfig
+from repro.core.description import (
+    BinaryDescription,
+    BinaryDescriptionComponent,
+    LibraryRecord,
+    identify_mpi_implementation,
+)
+from repro.core.discovery import (
+    DiscoveredStack,
+    EnvironmentDescription,
+    EnvironmentDiscoveryComponent,
+)
+from repro.core.prediction import (
+    Determinant,
+    DeterminantResult,
+    Prediction,
+    PredictionMode,
+)
+from repro.core.resolution import CopyDecision, ResolutionModel, ResolutionPlan
+from repro.core.bundle import SourceBundle
+from repro.core.bundlefile import pack_bundle, unpack_bundle
+from repro.core.evaluation import TargetEvaluationComponent, TargetReport
+from repro.core.feam import Feam
+from repro.core.survey import SiteVerdict, SurveyResult, survey_sites
+
+__all__ = [
+    "BinaryDescription",
+    "BinaryDescriptionComponent",
+    "CopyDecision",
+    "Determinant",
+    "DeterminantResult",
+    "DiscoveredStack",
+    "EnvironmentDescription",
+    "EnvironmentDiscoveryComponent",
+    "Feam",
+    "FeamConfig",
+    "LibraryRecord",
+    "Prediction",
+    "PredictionMode",
+    "ResolutionModel",
+    "ResolutionPlan",
+    "SiteVerdict",
+    "SourceBundle",
+    "SurveyResult",
+    "TargetEvaluationComponent",
+    "TargetReport",
+    "identify_mpi_implementation",
+    "pack_bundle",
+    "survey_sites",
+    "unpack_bundle",
+]

@@ -1,0 +1,75 @@
+"""Source-phase bundles.
+
+Running FEAM's optional source phase at a guaranteed execution environment
+produces a bundle: the binary's description, descriptions *and copies* of
+every shared library it links against, hello-world MPI programs compiled
+with the binary's stack, and the guaranteed environment's description.
+"The output from a source phase is bundled for the user and must be copied
+to each target site if it is to be used in a target phase" (Section V).
+
+The paper measures bundles at ~45 MB for all test binaries at a site
+combined; :attr:`SourceBundle.copy_bytes` provides the same measurement
+here.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from repro.core.description import BinaryDescription, LibraryRecord
+from repro.core.discovery import EnvironmentDescription
+
+
+@dataclasses.dataclass(frozen=True)
+class HelloPrograms:
+    """Hello-world MPI binaries compiled at the guaranteed environment."""
+
+    images: dict[str, bytes]  # language value -> ELF image
+    stack_label: str
+    compiled_at: str
+
+    def best(self) -> Optional[bytes]:
+        """The preferred probe (C when available)."""
+        for language in ("c", "fortran", "c++"):
+            if language in self.images:
+                return self.images[language]
+        return next(iter(self.images.values()), None)
+
+
+@dataclasses.dataclass(frozen=True)
+class SourceBundle:
+    """Everything a source phase hands to target phases."""
+
+    description: BinaryDescription
+    libraries: tuple[LibraryRecord, ...]
+    hello: Optional[HelloPrograms]
+    guaranteed_environment: EnvironmentDescription
+    created_at: str
+
+    @property
+    def copy_bytes(self) -> int:
+        """Total size of the gathered library copies, in bytes."""
+        return sum(record.copy_size for record in self.libraries)
+
+    @property
+    def copied_count(self) -> int:
+        return sum(1 for record in self.libraries if record.copied)
+
+    def library(self, soname: str) -> Optional[LibraryRecord]:
+        """The record for one soname, or None."""
+        for record in self.libraries:
+            if record.soname == soname:
+                return record
+        return None
+
+    def merged_with(self, other: "SourceBundle") -> "SourceBundle":
+        """Union of two bundles' libraries (site-wide bundle composition).
+
+        The paper composes one bundle per site holding "all the shared
+        libraries required by all of our test binaries at a site"; merging
+        keeps the first record for each soname.
+        """
+        seen = {record.soname for record in self.libraries}
+        extra = tuple(r for r in other.libraries if r.soname not in seen)
+        return dataclasses.replace(self, libraries=self.libraries + extra)

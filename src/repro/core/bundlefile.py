@@ -1,0 +1,252 @@
+"""Source-bundle serialization.
+
+"The output from a source phase is bundled for the user and must be
+copied to each target site if it is to be used in a target phase"
+(Section V).  This module makes that concrete: a bundle serializes to a
+single gzipped POSIX tar archive containing
+
+* ``MANIFEST.json`` -- the binary description, per-library records,
+  guaranteed-environment description and metadata;
+* ``libs/<soname>`` -- the gathered library copies (genuine ELF bytes);
+* ``hello/<language>`` -- the compiled hello-world probes.
+
+The archive round-trips losslessly (:func:`pack_bundle` /
+:func:`unpack_bundle`), can be written into a site's virtual filesystem
+for the user to ``scp`` onward, and is introspectable with any real tar
+tool.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import io
+import json
+import tarfile
+from typing import Optional
+
+from repro.core.bundle import HelloPrograms, SourceBundle
+from repro.core.description import BinaryDescription, LibraryRecord
+from repro.core.discovery import DiscoveredStack, EnvironmentDescription
+
+FORMAT_VERSION = 1
+
+
+class BundleFormatError(ValueError):
+    """The archive is not a valid FEAM bundle."""
+
+
+# -- JSON codecs for the dataclass tree ---------------------------------------
+
+def _description_to_json(d: BinaryDescription) -> dict:
+    return {
+        "path": d.path,
+        "file_format": d.file_format,
+        "isa_name": d.isa_name,
+        "bits": d.bits,
+        "is_dynamic": d.is_dynamic,
+        "is_shared_library": d.is_shared_library,
+        "soname": d.soname,
+        "library_version": list(d.library_version),
+        "needed": list(d.needed),
+        "version_references": [list(ref) for ref in d.version_references],
+        "version_definitions": list(d.version_definitions),
+        "required_glibc": d.required_glibc,
+        "comment": list(d.comment),
+        "mpi_implementation": d.mpi_implementation,
+        "build_compiler_hint": d.build_compiler_hint,
+        "build_libc_hint": d.build_libc_hint,
+        "gathered_via": d.gathered_via,
+    }
+
+
+def _description_from_json(data: dict) -> BinaryDescription:
+    return BinaryDescription(
+        path=data["path"],
+        file_format=data["file_format"],
+        isa_name=data["isa_name"],
+        bits=data["bits"],
+        is_dynamic=data["is_dynamic"],
+        is_shared_library=data["is_shared_library"],
+        soname=data["soname"],
+        library_version=tuple(data["library_version"]),
+        needed=tuple(data["needed"]),
+        version_references=tuple(
+            (ref[0], ref[1]) for ref in data["version_references"]),
+        version_definitions=tuple(data["version_definitions"]),
+        required_glibc=data["required_glibc"],
+        comment=tuple(data["comment"]),
+        mpi_implementation=data["mpi_implementation"],
+        build_compiler_hint=data["build_compiler_hint"],
+        build_libc_hint=data["build_libc_hint"],
+        gathered_via=data["gathered_via"],
+    )
+
+
+def _record_to_json(r: LibraryRecord) -> dict:
+    return {
+        "soname": r.soname,
+        "located_path": r.located_path,
+        "file_format": r.file_format,
+        "isa_name": r.isa_name,
+        "bits": r.bits,
+        "embedded_soname": r.embedded_soname,
+        "embedded_version": list(r.embedded_version),
+        "needed": list(r.needed),
+        "version_references": [list(ref) for ref in r.version_references],
+        "version_definitions": list(r.version_definitions),
+        "required_glibc": r.required_glibc,
+        "comment": list(r.comment),
+        "copied": r.copied,
+    }
+
+
+def _record_from_json(data: dict, image: Optional[bytes]) -> LibraryRecord:
+    return LibraryRecord(
+        soname=data["soname"],
+        located_path=data["located_path"],
+        file_format=data["file_format"],
+        isa_name=data["isa_name"],
+        bits=data["bits"],
+        embedded_soname=data["embedded_soname"],
+        embedded_version=tuple(data["embedded_version"]),
+        needed=tuple(data["needed"]),
+        version_references=tuple(
+            (ref[0], ref[1]) for ref in data["version_references"]),
+        version_definitions=tuple(data["version_definitions"]),
+        required_glibc=data["required_glibc"],
+        comment=tuple(data["comment"]),
+        image=image,
+    )
+
+
+def _stack_to_json(s: DiscoveredStack) -> dict:
+    return {
+        "label": s.label, "kind": s.kind, "version": s.version,
+        "compiler_family": s.compiler_family,
+        "compiler_version": s.compiler_version,
+        "prefix": s.prefix, "via": s.via, "module_name": s.module_name,
+    }
+
+
+def _stack_from_json(data: dict) -> DiscoveredStack:
+    return DiscoveredStack(**data)
+
+
+def _environment_to_json(e: EnvironmentDescription) -> dict:
+    return {
+        "hostname": e.hostname, "isa": e.isa, "os_type": e.os_type,
+        "os_version": e.os_version, "distro": e.distro,
+        "libc_version": e.libc_version, "libc_path": e.libc_path,
+        "libc_via": e.libc_via,
+        "stacks": [_stack_to_json(s) for s in e.stacks],
+        "env_tool": e.env_tool,
+        "loaded_stacks": list(e.loaded_stacks),
+    }
+
+
+def _environment_from_json(data: dict) -> EnvironmentDescription:
+    return EnvironmentDescription(
+        hostname=data["hostname"], isa=data["isa"],
+        os_type=data["os_type"], os_version=data["os_version"],
+        distro=data["distro"], libc_version=data["libc_version"],
+        libc_path=data["libc_path"], libc_via=data["libc_via"],
+        stacks=tuple(_stack_from_json(s) for s in data["stacks"]),
+        env_tool=data["env_tool"],
+        loaded_stacks=tuple(data["loaded_stacks"]),
+    )
+
+
+# -- pack / unpack --------------------------------------------------------------
+
+def pack_bundle(bundle: SourceBundle) -> bytes:
+    """Serialize *bundle* to a gzipped tar archive."""
+    manifest = {
+        "format_version": FORMAT_VERSION,
+        "created_at": bundle.created_at,
+        "description": _description_to_json(bundle.description),
+        "libraries": [_record_to_json(r) for r in bundle.libraries],
+        "guaranteed_environment": _environment_to_json(
+            bundle.guaranteed_environment),
+        "hello": ({"stack_label": bundle.hello.stack_label,
+                   "compiled_at": bundle.hello.compiled_at,
+                   "languages": sorted(bundle.hello.images)}
+                  if bundle.hello is not None else None),
+    }
+    import gzip
+
+    buffer = io.BytesIO()
+    # mtime=0 in the gzip header keeps archives byte-deterministic.
+    with gzip.GzipFile(fileobj=buffer, mode="wb", mtime=0) as gz:
+        with tarfile.open(fileobj=gz, mode="w") as tar:
+            def add(name: str, data: bytes) -> None:
+                info = tarfile.TarInfo(name)
+                info.size = len(data)
+                info.mtime = 0  # deterministic archives
+                tar.addfile(info, io.BytesIO(data))
+
+            add("MANIFEST.json",
+                json.dumps(manifest, indent=2, sort_keys=True).encode())
+            for record in bundle.libraries:
+                if record.image is not None:
+                    add(f"libs/{record.soname}", record.image)
+            if bundle.hello is not None:
+                for language, image in sorted(bundle.hello.images.items()):
+                    add(f"hello/{language}", image)
+    return buffer.getvalue()
+
+
+def unpack_bundle(data: bytes) -> SourceBundle:
+    """Deserialize an archive produced by :func:`pack_bundle`."""
+    try:
+        buffer = io.BytesIO(data)
+        with tarfile.open(fileobj=buffer, mode="r:gz") as tar:
+            members = {m.name: tar.extractfile(m).read()
+                       for m in tar.getmembers() if m.isfile()}
+    except (tarfile.TarError, OSError) as exc:
+        raise BundleFormatError(f"not a FEAM bundle archive: {exc}") from exc
+    if "MANIFEST.json" not in members:
+        raise BundleFormatError("archive has no MANIFEST.json")
+    try:
+        manifest = json.loads(members["MANIFEST.json"])
+    except json.JSONDecodeError as exc:
+        raise BundleFormatError(f"corrupt manifest: {exc}") from exc
+    version = manifest.get("format_version")
+    if version != FORMAT_VERSION:
+        raise BundleFormatError(
+            f"unsupported bundle format version: {version!r}")
+
+    libraries = []
+    for record_json in manifest["libraries"]:
+        image = None
+        if record_json.get("copied"):
+            image = members.get(f"libs/{record_json['soname']}")
+            if image is None:
+                raise BundleFormatError(
+                    f"manifest lists a copy of {record_json['soname']} "
+                    f"but the archive member is missing")
+        libraries.append(_record_from_json(record_json, image))
+
+    hello = None
+    hello_json = manifest.get("hello")
+    if hello_json is not None:
+        images = {}
+        for language in hello_json["languages"]:
+            image = members.get(f"hello/{language}")
+            if image is None:
+                raise BundleFormatError(
+                    f"manifest lists a {language} hello probe but the "
+                    f"archive member is missing")
+            images[language] = image
+        hello = HelloPrograms(
+            images=images,
+            stack_label=hello_json["stack_label"],
+            compiled_at=hello_json["compiled_at"])
+
+    return SourceBundle(
+        description=_description_from_json(manifest["description"]),
+        libraries=tuple(libraries),
+        hello=hello,
+        guaranteed_environment=_environment_from_json(
+            manifest["guaranteed_environment"]),
+        created_at=manifest["created_at"],
+    )

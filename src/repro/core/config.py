@@ -1,0 +1,88 @@
+"""FEAM user configuration.
+
+Before running FEAM, a user specifies (via a configuration file) the
+site's serial and parallel submission scripts -- "the only information
+about a new site our methods require the user to determine" -- plus which
+phase to run, the binary location, and optional per-MPI-type ``mpiexec``
+overrides (paper Sections V and V.C).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+
+@dataclasses.dataclass(frozen=True)
+class FeamConfig:
+    """Per-run FEAM configuration (the paper's configuration file)."""
+
+    #: Queue used for FEAM's own serial work (description/discovery jobs).
+    serial_queue: str = "debug"
+    #: Queue used for hello-world MPI functional tests.
+    parallel_queue: str = "debug"
+    #: Per-MPI-type launch command override; ``mpiexec`` by default.
+    mpiexec_overrides: dict[str, str] = dataclasses.field(default_factory=dict)
+    #: Ranks used for hello-world tests.
+    hello_nprocs: int = 2
+    #: Recursion limit of the resolution model.
+    max_resolution_depth: int = 8
+    #: Sonames never copied by the resolution model (Section IV copies
+    #: every shared library "except for the C library").
+    copy_excludes: tuple[str, ...] = (
+        "libc.so.6", "ld-linux.so.2", "ld-linux-x86-64.so.2")
+    #: Where library copies are staged at a target site.
+    staging_root: str = "/home/user/feam/stage"
+    #: Where FEAM writes its output files.
+    output_root: str = "/home/user/feam/out"
+
+    def mpiexec_for(self, mpi_type: Optional[str]) -> str:
+        """The launch command for an MPI type (Section V.C default)."""
+        if mpi_type and mpi_type in self.mpiexec_overrides:
+            return self.mpiexec_overrides[mpi_type]
+        return "mpiexec"
+
+    @staticmethod
+    def parse(text: str) -> "FeamConfig":
+        """Parse the simple ``key = value`` configuration-file format.
+
+        Recognised keys: ``serial_queue``, ``parallel_queue``,
+        ``hello_nprocs``, ``max_resolution_depth``, ``staging_root``,
+        ``output_root``, and ``mpiexec.<MPI type>`` overrides.
+        """
+        kwargs: dict = {}
+        overrides: dict[str, str] = {}
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            if "=" not in line:
+                raise ValueError(f"config line {lineno}: expected key = value")
+            key, _, value = line.partition("=")
+            key, value = key.strip(), value.strip()
+            if key.startswith("mpiexec."):
+                overrides[key[len("mpiexec."):]] = value
+            elif key in ("serial_queue", "parallel_queue",
+                         "staging_root", "output_root"):
+                kwargs[key] = value
+            elif key in ("hello_nprocs", "max_resolution_depth"):
+                kwargs[key] = int(value)
+            else:
+                raise ValueError(f"config line {lineno}: unknown key {key!r}")
+        if overrides:
+            kwargs["mpiexec_overrides"] = overrides
+        return FeamConfig(**kwargs)
+
+    def render(self) -> str:
+        """Serialize back to the configuration-file format."""
+        lines = [
+            f"serial_queue = {self.serial_queue}",
+            f"parallel_queue = {self.parallel_queue}",
+            f"hello_nprocs = {self.hello_nprocs}",
+            f"max_resolution_depth = {self.max_resolution_depth}",
+            f"staging_root = {self.staging_root}",
+            f"output_root = {self.output_root}",
+        ]
+        for mpi_type, command in sorted(self.mpiexec_overrides.items()):
+            lines.append(f"mpiexec.{mpi_type} = {command}")
+        return "\n".join(lines) + "\n"

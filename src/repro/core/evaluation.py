@@ -1,0 +1,492 @@
+"""The Target Evaluation Component (TEC).
+
+"The TEC uses the information gathered by the BDC and EDC to determine
+whether execution can occur at a target site without recompilation"
+(Section V.C).  Order of operations, per the paper:
+
+1. match ISA and C-library version; stop with detailed reasons on failure;
+2. for each compatible MPI stack detected, compile and run a hello-world
+   program natively to confirm the stack functions; when hello-world
+   programs from a guaranteed execution environment are available (the
+   source phase ran), run them too to confirm compatibility with the
+   binary's own build stack;
+3. under the selected stack's environment, identify missing shared
+   libraries and unsatisfied symbol-version references;
+4. with a source-phase bundle, apply the resolution model to the missing
+   libraries and re-check;
+5. emit the verdict, the reasons, and a site-configuration activation
+   script.
+
+All of FEAM's own work runs through the site's batch scheduler (debug
+queue), which is how the paper measures its sub-five-minute cost.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import posixpath
+from typing import Optional
+
+from repro.core.bundle import SourceBundle
+from repro.core.config import FeamConfig
+from repro.core.description import BinaryDescription
+from repro.core.discovery import (
+    DiscoveredStack,
+    EnvironmentDescription,
+    EnvironmentDiscoveryComponent,
+)
+from repro.core.prediction import (
+    Determinant,
+    DeterminantResult,
+    Prediction,
+    PredictionMode,
+    StackAssessment,
+)
+from repro.core.resolution import ResolutionModel, ResolutionPlan
+from repro.sysmodel.env import Environment
+from repro.sysmodel.fs import FsError
+from repro.toolchain.compilers import Language
+
+#: ISA compatibility: uname -p value -> (objdump arch, bits) it executes.
+_ISA_ACCEPTS: dict[str, frozenset[tuple[str, int]]] = {
+    "x86_64": frozenset({("x86-64", 64), ("i386", 32)}),
+    "i686": frozenset({("i386", 32)}),
+    "ppc64": frozenset({("powerpc64", 64), ("powerpc", 32)}),
+    "ia64": frozenset({("ia64", 64)}),
+    "sparc64": frozenset({("sparcv9", 64), ("sparc", 32)}),
+}
+
+
+def isa_compatible(binary_isa: str, binary_bits: int, target_isa: str) -> bool:
+    """Determinant 1: can the target's hardware execute this format?"""
+    accepted = _ISA_ACCEPTS.get(target_isa)
+    if accepted is None:
+        return binary_isa == target_isa
+    return (binary_isa, binary_bits) in accepted
+
+
+def _loader_failure(detail: str) -> bool:
+    """Does this stderr text look like a dynamic-loader failure?
+
+    Loader failures of the *imported* hello-world probe (missing shared
+    objects, unsatisfied versions) are inconclusive for stack
+    compatibility: the probe shares the application's own library
+    requirements, which the resolution model may satisfy.  Launch/ABI/FPE
+    failures, by contrast, condemn the stack pairing.
+    """
+    return ("cannot open shared object file" in detail
+            or "version `" in detail)
+
+
+def _compiler_family_hint(description: BinaryDescription) -> Optional[str]:
+    """Guess the build compiler family from the .comment banner."""
+    hint = description.build_compiler_hint or ""
+    if hint.startswith("GCC"):
+        return "gnu"
+    if hint.startswith("Intel"):
+        return "intel"
+    if hint.startswith("PGI"):
+        return "pgi"
+    return None
+
+
+@dataclasses.dataclass
+class TargetReport:
+    """Everything a target phase produces."""
+
+    prediction: Prediction
+    environment: EnvironmentDescription
+    resolution: Optional[ResolutionPlan] = None
+    #: Ready-to-run environment (stack + staging) when prediction is ready.
+    run_environment: Optional[Environment] = None
+    selected_stack_prefix: Optional[str] = None
+    #: Simulated seconds of FEAM's own work (scheduler-visible).
+    feam_seconds: float = 0.0
+    output_path: Optional[str] = None
+
+    @property
+    def ready(self) -> bool:
+        return self.prediction.ready
+
+
+class TargetEvaluationComponent:
+    """The TEC, bound to one target site."""
+
+    def __init__(self, site, config: Optional[FeamConfig] = None) -> None:
+        self.site = site
+        self.config = config or FeamConfig()
+        self.toolbox = site.toolbox()
+        self.edc = EnvironmentDiscoveryComponent(self.toolbox)
+        self._environment: Optional[EnvironmentDescription] = None
+
+    # -- cached discovery ----------------------------------------------------------
+
+    def environment(self) -> EnvironmentDescription:
+        """The (cached) EDC description of this site."""
+        if self._environment is None:
+            self._environment = self.edc.discover()
+        return self._environment
+
+    # -- hello-world stack tests ------------------------------------------------------
+
+    def _hello_dir(self) -> str:
+        return posixpath.join(self.config.output_root, "hello")
+
+    def assess_stack(self, stack: DiscoveredStack,
+                     bundle: Optional[SourceBundle]) -> StackAssessment:
+        """Functional tests for one candidate stack (Section V.C)."""
+        env = self.edc.env_for_stack(stack)
+        native_ok: Optional[bool] = None
+        imported_ok: Optional[bool] = None
+        notes = []
+        if stack.prefix is None:
+            return StackAssessment(stack=stack, notes="no install prefix")
+        try:
+            hello = self.site.compile_with_wrapper(
+                posixpath.join(stack.prefix, "bin", "mpicc"),
+                f"feam-hello-{stack.label.replace('/', '-')}",
+                Language.C)
+        except (FsError, KeyError) as exc:
+            hello = None
+            notes.append(f"native compile failed: {exc}")
+        if hello is not None:
+            path = posixpath.join(
+                self._hello_dir(), f"native-{stack.label.replace('/', '-')}")
+            self.site.machine.fs.write(path, hello.image, mode=0o755)
+            native_ok = False
+            for attempt in range(2):  # absorb transient scheduler faults
+                record = self.site.execute(
+                    f"feam:hello-native:{stack.label}", hello.image,
+                    self.site.stack_by_prefix(stack.prefix), env=env,
+                    attempt=attempt, nprocs=self.config.hello_nprocs,
+                    queue=self.config.parallel_queue,
+                    launcher=self.config.mpiexec_for(stack.kind))
+                if record.result.ok:
+                    native_ok = True
+                    break
+            if not native_ok:
+                notes.append(f"native hello failed: {record.result.failure}")
+        if bundle is not None and bundle.hello is not None:
+            image = bundle.hello.best()
+            if image is not None:
+                path = posixpath.join(
+                    self._hello_dir(),
+                    f"imported-{stack.label.replace('/', '-')}")
+                self.site.machine.fs.write(path, image, mode=0o755)
+                record = None
+                for attempt in range(2):  # absorb transient faults
+                    record = self.site.execute(
+                        f"feam:hello-imported:{stack.label}", image,
+                        self.site.stack_by_prefix(stack.prefix), env=env,
+                        attempt=attempt, nprocs=self.config.hello_nprocs,
+                        queue=self.config.parallel_queue,
+                        launcher=self.config.mpiexec_for(stack.kind))
+                    if record.result.ok:
+                        break
+                if record.result.ok:
+                    imported_ok = True
+                elif _loader_failure(record.result.failure.detail):
+                    # The probe shares the binary's library needs; a
+                    # loader failure here is resolvable, not a stack
+                    # incompatibility.  Re-tested after resolution.
+                    imported_ok = None
+                    notes.append(
+                        f"imported hello inconclusive: "
+                        f"{record.result.failure}")
+                else:
+                    imported_ok = False
+                    notes.append(
+                        f"imported hello failed: {record.result.failure}")
+        return StackAssessment(
+            stack=stack, native_hello_ok=native_ok,
+            imported_hello_ok=imported_ok, notes="; ".join(notes))
+
+    def _order_candidates(self, candidates: list[DiscoveredStack],
+                          description: BinaryDescription,
+                          ) -> list[DiscoveredStack]:
+        """Prefer the binary's own compiler family, then stable order."""
+        hint = _compiler_family_hint(description)
+        return sorted(
+            candidates,
+            key=lambda s: (0 if s.compiler_family == hint else 1, s.label))
+
+    # -- the evaluation --------------------------------------------------------------
+
+    def evaluate(self, description: BinaryDescription,
+                 binary_path: Optional[str] = None,
+                 bundle: Optional[SourceBundle] = None,
+                 staging_tag: str = "default") -> TargetReport:
+        """Run the full prediction (and resolution) for one binary."""
+        mode = (PredictionMode.EXTENDED if bundle is not None
+                else PredictionMode.BASIC)
+        environment = self.environment()
+        determinants: list[DeterminantResult] = []
+        reasons: list[str] = []
+        feam_seconds = 10.0 + 0.2 * len(description.needed)
+
+        # Determinant 1: ISA.
+        isa_ok = isa_compatible(
+            description.isa_name, description.bits, environment.isa)
+        determinants.append(DeterminantResult(
+            Determinant.ISA, isa_ok,
+            f"binary {description.isa_name}/{description.bits}-bit, "
+            f"target {environment.isa}"))
+        if not isa_ok:
+            reasons.append("incompatible ISA")
+
+        # Determinant 3 (checked before MPI per Section V.C): C library.
+        libc_ok: Optional[bool] = None
+        required = description.required_glibc_tuple
+        available = environment.libc_version_tuple
+        if required and available:
+            libc_ok = required <= available
+        elif required and not available:
+            libc_ok = None  # could not determine the site's libc version
+        else:
+            libc_ok = True
+        determinants.append(DeterminantResult(
+            Determinant.C_LIBRARY, libc_ok,
+            f"binary requires GLIBC_{description.required_glibc or '?'}, "
+            f"target has {environment.libc_version or 'unknown'}"))
+        if libc_ok is False:
+            reasons.append(
+                f"C library too old (needs "
+                f"{description.required_glibc}, site has "
+                f"{environment.libc_version})")
+
+        if not isa_ok or libc_ok is False:
+            prediction = Prediction(
+                ready=False, mode=mode, determinants=tuple(determinants),
+                reasons=tuple(reasons))
+            return self._finish(prediction, environment, None, None,
+                                feam_seconds, staging_tag)
+
+        # Determinant 2: MPI stack.
+        mpi_type = description.mpi_implementation
+        selected: Optional[DiscoveredStack] = None
+        assessments: list[StackAssessment] = []
+        if mpi_type is None:
+            determinants.append(DeterminantResult(
+                Determinant.MPI_STACK, True,
+                "binary does not appear to be an MPI application"))
+        else:
+            candidates = environment.stacks_of_kind(mpi_type)
+            if not candidates:
+                determinants.append(DeterminantResult(
+                    Determinant.MPI_STACK, False,
+                    f"no {mpi_type} stack available"))
+                reasons.append(f"no matching MPI implementation "
+                               f"({mpi_type}) at the site")
+            else:
+                for candidate in self._order_candidates(
+                        candidates, description):
+                    assessment = self.assess_stack(candidate, bundle)
+                    assessments.append(assessment)
+                    feam_seconds += 25.0
+                    if assessment.usable:
+                        selected = candidate
+                        break
+                determinants.append(DeterminantResult(
+                    Determinant.MPI_STACK, selected is not None,
+                    (f"selected {selected.label}" if selected else
+                     f"{len(candidates)} {mpi_type} stack(s) found but none "
+                     f"passed the functional tests")))
+                if selected is None:
+                    reasons.append(
+                        f"no usable {mpi_type} stack (hello-world tests "
+                        f"failed)")
+
+        if mpi_type is not None and selected is None:
+            prediction = Prediction(
+                ready=False, mode=mode, determinants=tuple(determinants),
+                stack_assessments=tuple(assessments),
+                reasons=tuple(reasons))
+            return self._finish(prediction, environment, None, None,
+                                feam_seconds, staging_tag)
+
+        # Determinant 4: shared libraries (under the selected stack).
+        env = (self.edc.env_for_stack(selected) if selected is not None
+               else self.toolbox.machine.env.copy())
+        missing, unsatisfied = self.edc.missing_libraries(
+            description, env, binary_path=binary_path)
+        feam_seconds += 0.5 * len(description.needed)
+        glibc_unsatisfied = [(lib, v) for lib, v in unsatisfied
+                             if v.startswith("GLIBC_")]
+        other_unsatisfied = [(lib, v) for lib, v in unsatisfied
+                             if not v.startswith("GLIBC_")]
+        if glibc_unsatisfied:
+            # Deeper C-library incompatibility discovered via ldd -v.
+            determinants = [
+                d if d.determinant is not Determinant.C_LIBRARY else
+                DeterminantResult(
+                    Determinant.C_LIBRARY, False,
+                    "unsatisfied GLIBC version references: " + ", ".join(
+                        f"{v} from {lib}" for lib, v in glibc_unsatisfied))
+                for d in determinants]
+            reasons.append("unsatisfied GLIBC symbol versions")
+
+        resolution: Optional[ResolutionPlan] = None
+        to_resolve = list(dict.fromkeys(
+            missing + [lib for lib, _v in other_unsatisfied]))
+        if to_resolve and bundle is not None and not glibc_unsatisfied:
+            resolver = ResolutionModel(self.toolbox, environment, self.config)
+            staging_dir = posixpath.join(self.config.staging_root, staging_tag)
+            resolution = resolver.resolve(to_resolve, bundle, env, staging_dir)
+            feam_seconds += 2.0 * len(to_resolve)
+            if resolution.staged:
+                for var, path in resolution.env_additions:
+                    env.prepend_path(var, path)
+                missing, unsatisfied = self.edc.missing_libraries(
+                    description, env, binary_path=binary_path)
+                other_unsatisfied = [(lib, v) for lib, v in unsatisfied
+                                     if not v.startswith("GLIBC_")]
+
+        shared_ok = (not missing and not other_unsatisfied
+                     and not glibc_unsatisfied)
+
+        # Extended compatibility re-test: when the imported hello-world was
+        # inconclusive (its own libraries were missing pre-resolution), run
+        # it again in the final environment to expose ABI/floating-point
+        # incompatibilities between the build stack and the selected stack.
+        if (shared_ok and selected is not None and bundle is not None
+                and bundle.hello is not None):
+            selected_assessment = next(
+                (a for a in assessments if a.stack is selected), None)
+            # Retest when the earlier probe was inconclusive OR when
+            # resolution changed the runtime environment (staged copies
+            # alter which MPI/runtime libraries actually load).
+            needs_retest = (
+                (selected_assessment is not None
+                 and selected_assessment.imported_hello_ok is None)
+                or (resolution is not None and bool(resolution.staged)))
+            if needs_retest:
+                retest_ok, failure_detail = self._run_imported_hello(
+                    selected, bundle, env,
+                    staging_dir=posixpath.join(
+                        self.config.staging_root, staging_tag))
+                feam_seconds += 20.0
+                if retest_ok is False:
+                    determinants = [
+                        d if d.determinant is not Determinant.MPI_STACK else
+                        DeterminantResult(
+                            Determinant.MPI_STACK, False,
+                            f"imported hello-world fails on "
+                            f"{selected.label}: {failure_detail}")
+                        for d in determinants]
+                    reasons.append(
+                        "guaranteed-environment hello-world is incompatible "
+                        "with the selected stack")
+                    prediction = Prediction(
+                        ready=False, mode=mode,
+                        determinants=tuple(determinants),
+                        stack_assessments=tuple(assessments),
+                        selected_stack=selected,
+                        missing_libraries=tuple(missing),
+                        unsatisfied_versions=tuple(unsatisfied),
+                        reasons=tuple(reasons))
+                    return self._finish(
+                        prediction, environment, resolution, None,
+                        feam_seconds, staging_tag, selected)
+        detail_parts = []
+        if missing:
+            detail_parts.append("missing: " + ", ".join(missing))
+        if other_unsatisfied:
+            detail_parts.append("unsatisfied versions: " + ", ".join(
+                f"{v} from {lib}" for lib, v in other_unsatisfied))
+        determinants.append(DeterminantResult(
+            Determinant.SHARED_LIBRARIES,
+            shared_ok if not glibc_unsatisfied else False,
+            "; ".join(detail_parts) or "all shared libraries available"))
+        if missing:
+            reasons.append("missing shared libraries: " + ", ".join(missing))
+        if other_unsatisfied:
+            reasons.append("incompatible shared library versions")
+
+        ready = (isa_ok and libc_ok is not False
+                 and (mpi_type is None or selected is not None)
+                 and shared_ok)
+        prediction = Prediction(
+            ready=ready, mode=mode, determinants=tuple(determinants),
+            stack_assessments=tuple(assessments),
+            selected_stack=selected,
+            missing_libraries=tuple(missing),
+            unsatisfied_versions=tuple(unsatisfied),
+            requires_resolution=bool(resolution and resolution.staged),
+            reasons=tuple(reasons))
+        return self._finish(prediction, environment, resolution,
+                            env if ready else None, feam_seconds,
+                            staging_tag, selected)
+
+    def _run_imported_hello(self, stack: DiscoveredStack,
+                            bundle: SourceBundle, env: Environment,
+                            staging_dir: str) -> tuple[Optional[bool], str]:
+        """Run the guaranteed-environment hello under *env*.
+
+        The probe's *own* missing libraries are first resolved from the
+        bundle (the probe was built with the application's stack, so its
+        requirements are a subset of the application's) -- otherwise a
+        loader failure of the probe would mask the ABI signal the test
+        exists to expose.  Returns (ok, failure detail); ok is None when
+        the outcome remains a loader failure (inconclusive).
+        """
+        image = bundle.hello.best() if bundle.hello else None
+        if image is None or stack.prefix is None:
+            return None, "no imported hello available"
+        hello_path = posixpath.join(
+            self._hello_dir(), f"retest-{stack.label.replace('/', '-')}")
+        self.site.machine.fs.write(hello_path, image, mode=0o755)
+        probe_env = env.copy()
+        try:
+            ldd = self.toolbox.ldd(hello_path, probe_env)
+            hello_missing = list(ldd.missing) if ldd.recognised else []
+        except FsError:
+            hello_missing = []
+        if hello_missing:
+            resolver = ResolutionModel(
+                self.toolbox, self.environment(), self.config)
+            plan = resolver.resolve(hello_missing, bundle, probe_env,
+                                    posixpath.join(staging_dir, "hello"))
+            for var, path in plan.env_additions:
+                probe_env.prepend_path(var, path)
+        last_detail = ""
+        for attempt in range(2):
+            record = self.site.execute(
+                f"feam:hello-retest:{stack.label}", image,
+                self.site.stack_by_prefix(stack.prefix), env=probe_env,
+                attempt=attempt, nprocs=self.config.hello_nprocs,
+                queue=self.config.parallel_queue,
+                launcher=self.config.mpiexec_for(stack.kind))
+            if record.result.ok:
+                return True, ""
+            last_detail = record.result.failure.detail
+        if _loader_failure(last_detail):
+            return None, last_detail
+        return False, last_detail
+
+    # -- reporting -----------------------------------------------------------------------
+
+    def _finish(self, prediction: Prediction,
+                environment: EnvironmentDescription,
+                resolution: Optional[ResolutionPlan],
+                run_env: Optional[Environment],
+                feam_seconds: float, staging_tag: str,
+                selected: Optional[DiscoveredStack] = None) -> TargetReport:
+        from repro.core.report import render_target_report
+        report = TargetReport(
+            prediction=prediction,
+            environment=environment,
+            resolution=resolution,
+            run_environment=run_env,
+            selected_stack_prefix=(selected.prefix if selected else None),
+            feam_seconds=feam_seconds)
+        output_path = posixpath.join(
+            self.config.output_root, f"prediction-{staging_tag}.txt")
+        self.site.machine.fs.write_text(
+            output_path, render_target_report(report))
+        if resolution is not None:
+            script_path = posixpath.join(
+                self.config.output_root, f"activate-{staging_tag}.sh")
+            self.site.machine.fs.write_text(
+                script_path, resolution.activation_script(), mode=0o755)
+        report.output_path = output_path
+        return report

@@ -1,0 +1,99 @@
+"""The prediction model (paper Section III, Figure 1).
+
+Four determinants decide execution readiness:
+
+1. **ISA compatibility** -- was the binary compiled for an ISA (and word
+   length) the target executes?
+2. **MPI stack compatibility** -- is a *usable* stack of the same
+   implementation type available?  (Same type only; versions are not
+   considered compatible or incompatible a priori -- Section III.B.)
+3. **C library compatibility** -- is the target's C library version >= the
+   binary's required C library version?
+4. **Shared library compatibility** -- is every required shared library
+   available (same major version), with its referenced symbol versions
+   defined?
+
+This module defines the result types; the Target Evaluation Component
+(:mod:`repro.core.evaluation`) computes them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Optional
+
+from repro.core.discovery import DiscoveredStack
+
+
+class Determinant(enum.Enum):
+    """The four determinants of Figure 1."""
+
+    ISA = "isa-compatibility"
+    MPI_STACK = "mpi-stack-compatibility"
+    C_LIBRARY = "c-library-compatibility"
+    SHARED_LIBRARIES = "shared-library-compatibility"
+
+
+class PredictionMode(enum.Enum):
+    """Whether the optional source phase contributed (Section VI.B)."""
+
+    BASIC = "basic"
+    EXTENDED = "extended"
+
+
+@dataclasses.dataclass(frozen=True)
+class DeterminantResult:
+    """Outcome of evaluating one determinant."""
+
+    determinant: Determinant
+    #: True = compatible; False = incompatible; None = not evaluated
+    #: (the paper stops after the first failing gate).
+    passed: Optional[bool]
+    detail: str = ""
+
+
+@dataclasses.dataclass(frozen=True)
+class StackAssessment:
+    """Functional test results for one candidate MPI stack (Section V.C)."""
+
+    stack: DiscoveredStack
+    native_hello_ok: Optional[bool] = None
+    imported_hello_ok: Optional[bool] = None
+    notes: str = ""
+
+    @property
+    def usable(self) -> bool:
+        """A stack is usable when its functional tests did not fail."""
+        if self.native_hello_ok is False:
+            return False
+        if self.imported_hello_ok is False:
+            return False
+        return self.native_hello_ok is True or self.imported_hello_ok is True
+
+
+@dataclasses.dataclass(frozen=True)
+class Prediction:
+    """FEAM's verdict for one binary at one target site."""
+
+    ready: bool
+    mode: PredictionMode
+    determinants: tuple[DeterminantResult, ...]
+    stack_assessments: tuple[StackAssessment, ...] = ()
+    selected_stack: Optional[DiscoveredStack] = None
+    missing_libraries: tuple[str, ...] = ()
+    unsatisfied_versions: tuple[tuple[str, str], ...] = ()
+    #: True when the verdict depends on the resolution model's staging.
+    requires_resolution: bool = False
+    reasons: tuple[str, ...] = ()
+
+    def determinant(self, which: Determinant) -> DeterminantResult:
+        for result in self.determinants:
+            if result.determinant is which:
+                return result
+        return DeterminantResult(which, None, "not evaluated")
+
+    @property
+    def failed_determinants(self) -> tuple[Determinant, ...]:
+        return tuple(r.determinant for r in self.determinants
+                     if r.passed is False)

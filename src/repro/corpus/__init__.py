@@ -1,0 +1,37 @@
+"""Benchmark corpus: the paper's test set.
+
+The evaluation compiled the NAS Parallel Benchmarks (NPB 2.4, MPI
+reference implementation) and SPEC MPI2007 with every MPI stack at every
+site, discarding combinations that failed to compile or failed to run at
+their build site, yielding 110 NPB and 147 SPEC binaries (Section VI.A).
+
+* :mod:`repro.corpus.benchmarks` -- the 7 NPB kernels/pseudo-applications
+  and 7 SPEC codes used, with their languages, C-library feature levels
+  and link footprints.
+* :mod:`repro.corpus.rules` -- the deterministic compile-failure rules
+  standing in for the paper's unexplained build failures.
+* :mod:`repro.corpus.builder` -- the compile matrix: benchmark x site x
+  stack -> installed binaries with ground-truth provenance.
+"""
+
+from repro.corpus.benchmarks import (
+    Benchmark,
+    NPB_BENCHMARKS,
+    SPEC_BENCHMARKS,
+    Suite,
+)
+from repro.corpus.builder import CompiledBinary, Corpus, CorpusConfig, build_corpus
+from repro.corpus.rules import compile_succeeds, compile_failure_reason
+
+__all__ = [
+    "Benchmark",
+    "CompiledBinary",
+    "Corpus",
+    "CorpusConfig",
+    "NPB_BENCHMARKS",
+    "SPEC_BENCHMARKS",
+    "Suite",
+    "build_corpus",
+    "compile_failure_reason",
+    "compile_succeeds",
+]

@@ -1,0 +1,113 @@
+"""The benchmarks of the paper's test set (Section VI.A).
+
+From NPB 2.4: four kernels (IS integer sort, EP embarrassingly parallel,
+CG conjugate gradient, MG multi-grid) and three pseudo-applications (BT
+block-tridiagonal, SP scalar penta-diagonal, LU lower-upper Gauss-Seidel).
+
+From SPEC MPI2007: 104.milc (quantum chromodynamics, C), 107.leslie3d and
+115.fds4 (computational fluid dynamics, Fortran), 122.tachyon (parallel
+ray tracing, C), 126.lammps (molecular dynamics, C++), 127.GAPgeofem
+(weather/geophysics FEM, Fortran+C) and 129.tera_tf (3D Eulerian
+hydrodynamics, Fortran 90).
+
+Each benchmark carries the attributes that matter for migration:
+
+* ``language`` decides the compiler runtime footprint (libgfortran vs
+  libstdc++ vs none) and which MPI wrapper libraries are linked;
+* ``glibc_ceiling`` is the newest C-library feature level the code uses --
+  a binary built on a newer-glibc site references
+  ``min(site glibc, ceiling)`` and refuses to load anywhere older;
+* ``payload_size`` drives binary and bundle sizes;
+* ``needs_f90`` marks Fortran-90 sources that the g77-era GNU 3.4
+  toolchain cannot build.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+from repro.toolchain.compilers import Language, RuntimeDep
+
+
+class Suite(enum.Enum):
+    """Benchmark suite identity."""
+
+    NPB = "NAS"
+    SPEC = "SPEC"
+
+    @property
+    def full_name(self) -> str:
+        return {"NAS": "NAS Parallel Benchmarks 2.4",
+                "SPEC": "SPEC MPI2007"}[self.value]
+
+
+@dataclasses.dataclass(frozen=True)
+class Benchmark:
+    """One benchmark application."""
+
+    name: str
+    suite: Suite
+    language: Language
+    description: str
+    glibc_ceiling: tuple[int, ...] = (2, 3)
+    payload_size: int = 400_000
+    extra_deps: tuple[RuntimeDep, ...] = ()
+    needs_f90: bool = False
+
+    @property
+    def qualified_name(self) -> str:
+        return f"{self.suite.value.lower()}.{self.name}"
+
+    def __str__(self) -> str:
+        return self.qualified_name
+
+
+_F = Language.FORTRAN
+_C = Language.C
+_CXX = Language.CXX
+
+NPB_BENCHMARKS: tuple[Benchmark, ...] = (
+    Benchmark("is", Suite.NPB, _C, "integer sort kernel",
+              glibc_ceiling=(2, 3), payload_size=140_000),
+    Benchmark("ep", Suite.NPB, _F, "embarrassingly parallel kernel",
+              glibc_ceiling=(2, 4), payload_size=160_000),
+    Benchmark("cg", Suite.NPB, _F, "conjugate gradient kernel",
+              glibc_ceiling=(2, 3), payload_size=220_000),
+    Benchmark("mg", Suite.NPB, _F, "multi-grid on a sequence of meshes",
+              glibc_ceiling=(2, 3), payload_size=260_000),
+    Benchmark("bt", Suite.NPB, _F, "block tridiagonal solver",
+              glibc_ceiling=(2, 3), payload_size=540_000),
+    Benchmark("sp", Suite.NPB, _F, "scalar penta-diagonal solver",
+              glibc_ceiling=(2, 3), payload_size=480_000),
+    Benchmark("lu", Suite.NPB, _F, "lower-upper Gauss-Seidel solver",
+              glibc_ceiling=(2, 4), payload_size=520_000),
+)
+
+SPEC_BENCHMARKS: tuple[Benchmark, ...] = (
+    Benchmark("104.milc", Suite.SPEC, _C, "quantum chromodynamics",
+              glibc_ceiling=(2, 4), payload_size=900_000,
+              extra_deps=(RuntimeDep("libz.so.1"),)),
+    Benchmark("107.leslie3d", Suite.SPEC, _F, "computational fluid dynamics",
+              glibc_ceiling=(2, 3, 4), payload_size=700_000, needs_f90=True),
+    Benchmark("115.fds4", Suite.SPEC, _F, "fire dynamics CFD",
+              glibc_ceiling=(2, 7), payload_size=1_600_000, needs_f90=True),
+    Benchmark("122.tachyon", Suite.SPEC, _C, "parallel ray tracing",
+              glibc_ceiling=(2, 3), payload_size=480_000),
+    Benchmark("126.lammps", Suite.SPEC, _CXX, "molecular dynamics",
+              glibc_ceiling=(2, 4), payload_size=2_800_000),
+    Benchmark("127.GAPgeofem", Suite.SPEC, _F, "geophysics finite elements",
+              glibc_ceiling=(2, 5), payload_size=1_100_000, needs_f90=True),
+    Benchmark("129.tera_tf", Suite.SPEC, _F, "3D Eulerian hydrodynamics",
+              glibc_ceiling=(2, 7), payload_size=820_000, needs_f90=True),
+)
+
+ALL_BENCHMARKS: tuple[Benchmark, ...] = NPB_BENCHMARKS + SPEC_BENCHMARKS
+
+
+def benchmark(qualified_name: str) -> Benchmark:
+    """Look up a benchmark by qualified name, e.g. ``"nas.bt"``."""
+    for b in ALL_BENCHMARKS:
+        if b.qualified_name == qualified_name:
+            return b
+    raise KeyError(f"unknown benchmark: {qualified_name!r}")

@@ -1,0 +1,54 @@
+"""ELF binary format substrate.
+
+A from-scratch implementation of the parts of the ELF object-file format
+that FEAM's analysis depends on:
+
+* :mod:`repro.elf.constants` -- file-format constants (classes, machines,
+  section/dynamic/version tags).
+* :mod:`repro.elf.structs` -- typed views of ELF structures.
+* :mod:`repro.elf.reader` -- parse ELF images into :class:`ElfFile`.
+* :mod:`repro.elf.writer` -- serialize a synthetic-but-valid ELF image from
+  a :class:`BinarySpec` description (used by the toolchain simulator to
+  produce genuine on-disk binaries without a compiler).
+* :mod:`repro.elf.highlevel` -- one-call description of a binary
+  (:func:`describe_elf`), the information FEAM's Binary Description
+  Component consumes.
+
+The reader handles both ELF32 and ELF64 in either byte order, and parses
+real system binaries (cross-validated against binutils in the test suite)
+as well as images produced by :mod:`repro.elf.writer`.
+"""
+
+from repro.elf.constants import (
+    ElfClass,
+    ElfData,
+    ElfMachine,
+    ElfType,
+)
+from repro.elf.reader import ElfError, ElfFile, parse_elf
+from repro.elf.structs import (
+    DynamicInfo,
+    SymbolVersion,
+    VersionDefinition,
+    VersionRequirement,
+)
+from repro.elf.writer import BinarySpec, write_elf
+from repro.elf.highlevel import BinaryInfo, describe_elf
+
+__all__ = [
+    "BinaryInfo",
+    "BinarySpec",
+    "DynamicInfo",
+    "ElfClass",
+    "ElfData",
+    "ElfError",
+    "ElfFile",
+    "ElfMachine",
+    "ElfType",
+    "SymbolVersion",
+    "VersionDefinition",
+    "VersionRequirement",
+    "describe_elf",
+    "parse_elf",
+    "write_elf",
+]

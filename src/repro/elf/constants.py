@@ -1,0 +1,234 @@
+"""ELF file-format constants.
+
+Only the subset needed to describe dynamically linked application binaries
+is defined: identification bytes, object classes, data encodings, machine
+architectures, section types, program-header types, dynamic-section tags,
+and GNU symbol-versioning tags.
+
+Values follow the System V ABI and the GNU extensions as implemented by
+glibc/binutils.
+"""
+
+from __future__ import annotations
+
+import enum
+
+#: The four magic bytes at the start of every ELF file.
+ELF_MAGIC = b"\x7fELF"
+
+#: Size of the e_ident identification array.
+EI_NIDENT = 16
+
+# Offsets into e_ident.
+EI_CLASS = 4
+EI_DATA = 5
+EI_VERSION = 6
+EI_OSABI = 7
+EI_ABIVERSION = 8
+
+
+class ElfClass(enum.IntEnum):
+    """Object file class: word size of the target architecture."""
+
+    NONE = 0
+    ELF32 = 1
+    ELF64 = 2
+
+    @property
+    def bits(self) -> int:
+        """Word length in bits (32 or 64)."""
+        if self is ElfClass.ELF32:
+            return 32
+        if self is ElfClass.ELF64:
+            return 64
+        raise ValueError("ELFCLASSNONE has no word length")
+
+
+class ElfData(enum.IntEnum):
+    """Data encoding: byte order of the target architecture."""
+
+    NONE = 0
+    LSB = 1  # little-endian (2's complement)
+    MSB = 2  # big-endian (2's complement)
+
+    @property
+    def struct_prefix(self) -> str:
+        """:mod:`struct` byte-order prefix for this encoding."""
+        if self is ElfData.LSB:
+            return "<"
+        if self is ElfData.MSB:
+            return ">"
+        raise ValueError("ELFDATANONE has no byte order")
+
+
+class ElfType(enum.IntEnum):
+    """Object file type (e_type)."""
+
+    NONE = 0
+    REL = 1
+    EXEC = 2
+    DYN = 3
+    CORE = 4
+
+
+class ElfMachine(enum.IntEnum):
+    """Machine architecture (e_machine); the subset FEAM encounters."""
+
+    NONE = 0
+    SPARC = 2
+    X86 = 3  # EM_386
+    MIPS = 8
+    PPC = 20
+    PPC64 = 21
+    S390 = 22
+    ARM = 40
+    SPARCV9 = 43
+    IA_64 = 50
+    X86_64 = 62
+    AARCH64 = 183
+    RISCV = 243
+
+    @property
+    def display_name(self) -> str:
+        """Conventional architecture string (as printed by objdump)."""
+        return _MACHINE_NAMES[self]
+
+
+_MACHINE_NAMES = {
+    ElfMachine.NONE: "none",
+    ElfMachine.SPARC: "sparc",
+    ElfMachine.X86: "i386",
+    ElfMachine.MIPS: "mips",
+    ElfMachine.PPC: "powerpc",
+    ElfMachine.PPC64: "powerpc64",
+    ElfMachine.S390: "s390",
+    ElfMachine.ARM: "arm",
+    ElfMachine.SPARCV9: "sparcv9",
+    ElfMachine.IA_64: "ia64",
+    ElfMachine.X86_64: "x86-64",
+    ElfMachine.AARCH64: "aarch64",
+    ElfMachine.RISCV: "riscv",
+}
+
+
+class SectionType(enum.IntEnum):
+    """Section types (sh_type); the subset we read and write."""
+
+    NULL = 0
+    PROGBITS = 1
+    SYMTAB = 2
+    STRTAB = 3
+    RELA = 4
+    HASH = 5
+    DYNAMIC = 6
+    NOTE = 7
+    NOBITS = 8
+    REL = 9
+    DYNSYM = 11
+    # GNU extensions for symbol versioning.
+    GNU_VERDEF = 0x6FFFFFFD
+    GNU_VERNEED = 0x6FFFFFFE
+    GNU_VERSYM = 0x6FFFFFFF
+
+
+class SegmentType(enum.IntEnum):
+    """Program-header (segment) types (p_type)."""
+
+    NULL = 0
+    LOAD = 1
+    DYNAMIC = 2
+    INTERP = 3
+    NOTE = 4
+    PHDR = 6
+    GNU_EH_FRAME = 0x6474E550
+    GNU_STACK = 0x6474E551
+    GNU_RELRO = 0x6474E552
+    GNU_PROPERTY = 0x6474E553
+
+
+class DynamicTag(enum.IntEnum):
+    """Dynamic-section entry tags (d_tag); the subset FEAM inspects."""
+
+    NULL = 0
+    NEEDED = 1
+    PLTRELSZ = 2
+    PLTGOT = 3
+    HASH = 4
+    STRTAB = 5
+    SYMTAB = 6
+    RELA = 7
+    RELASZ = 8
+    RELAENT = 9
+    STRSZ = 10
+    SYMENT = 11
+    INIT = 12
+    FINI = 13
+    SONAME = 14
+    RPATH = 15
+    SYMBOLIC = 16
+    REL = 17
+    RELSZ = 18
+    RELENT = 19
+    PLTREL = 20
+    DEBUG = 21
+    TEXTREL = 22
+    JMPREL = 23
+    BIND_NOW = 24
+    INIT_ARRAY = 25
+    FINI_ARRAY = 26
+    INIT_ARRAYSZ = 27
+    FINI_ARRAYSZ = 28
+    RUNPATH = 29
+    FLAGS = 30
+    GNU_HASH = 0x6FFFFEF5
+    VERSYM = 0x6FFFFFF0
+    VERDEF = 0x6FFFFFFC
+    VERDEFNUM = 0x6FFFFFFD
+    VERNEED = 0x6FFFFFFE
+    VERNEEDNUM = 0x6FFFFFFF
+
+
+# Section flags (sh_flags).
+SHF_WRITE = 0x1
+SHF_ALLOC = 0x2
+SHF_EXECINSTR = 0x4
+
+# Segment flags (p_flags).
+PF_X = 0x1
+PF_W = 0x2
+PF_R = 0x4
+
+# Version-structure revision numbers.
+VER_NEED_CURRENT = 1
+VER_DEF_CURRENT = 1
+
+# Special symbol-version indices in .gnu.version.
+VER_NDX_LOCAL = 0
+VER_NDX_GLOBAL = 1
+
+# Symbol table constants.
+SHN_UNDEF = 0
+STB_GLOBAL = 1
+STT_FUNC = 2
+
+# vd_flags values.
+VER_FLG_BASE = 0x1
+VER_FLG_WEAK = 0x2
+
+
+def elf_hash(name: str | bytes) -> int:
+    """The classic System V ELF hash, used for version-name hashes.
+
+    This is the ``elf_hash`` function from the SysV ABI; glibc stores the
+    hash of each version name in verneed/verdef auxiliary entries.
+    """
+    if isinstance(name, str):
+        name = name.encode("ascii")
+    h = 0
+    for byte in name:
+        h = (h << 4) + byte
+        g = h & 0xF0000000
+        if g:
+            h ^= g >> 24
+        h &= ~g & 0xFFFFFFFF
+    return h & 0xFFFFFFFF

@@ -1,0 +1,135 @@
+"""Faithful text renderings of binutils output.
+
+FEAM's implementation parses the *output* of ``objdump -p``,
+``readelf -d``, ``readelf -V`` and ``readelf -p .comment``; this module
+renders a parsed :class:`~repro.elf.reader.ElfFile` back into those
+formats closely enough that text written by the emulation is
+recognisable -- and parseable -- by someone who knows the real tools.
+
+(The structured API in :mod:`repro.tools.toolbox` is what FEAM's
+components consume; these renderers feed the human-facing report files
+and the tests that pin our output against real binutils.)
+"""
+
+from __future__ import annotations
+
+from repro.elf.constants import DynamicTag, elf_hash
+from repro.elf.reader import ElfFile
+
+_TAG_LABELS = {
+    DynamicTag.NEEDED: "NEEDED",
+    DynamicTag.SONAME: "SONAME",
+    DynamicTag.RPATH: "RPATH",
+    DynamicTag.RUNPATH: "RUNPATH",
+    DynamicTag.STRTAB: "STRTAB",
+    DynamicTag.STRSZ: "STRSZ",
+    DynamicTag.SYMTAB: "SYMTAB",
+    DynamicTag.SYMENT: "SYMENT",
+    DynamicTag.VERSYM: "VERSYM",
+    DynamicTag.VERNEED: "VERNEED",
+    DynamicTag.VERNEEDNUM: "VERNEEDNUM",
+    DynamicTag.VERDEF: "VERDEF",
+    DynamicTag.VERDEFNUM: "VERDEFNUM",
+}
+
+
+def render_objdump_private(elf: ElfFile, filename: str = "a.out") -> str:
+    """``objdump -p`` style output."""
+    arch = elf.header.machine.display_name
+    lines = [f"{filename}:     file format elf{elf.header.bits}-{arch}",
+             ""]
+    if elf.dynamic.entries:
+        lines.append("Dynamic Section:")
+        for soname in elf.dynamic.needed:
+            lines.append(f"  NEEDED               {soname}")
+        if elf.dynamic.soname:
+            lines.append(f"  SONAME               {elf.dynamic.soname}")
+        if elf.dynamic.rpath:
+            lines.append(f"  RPATH                {elf.dynamic.rpath}")
+        if elf.dynamic.runpath:
+            lines.append(f"  RUNPATH              {elf.dynamic.runpath}")
+    if elf.version_definitions:
+        lines.append("")
+        lines.append("Version definitions:")
+        for index, vdef in enumerate(elf.version_definitions, start=1):
+            flags = "0x01" if vdef.is_base else "0x00"
+            lines.append(f"{index} {flags} 0x{elf_hash(vdef.name.name):08x} "
+                         f"{vdef.name.name}")
+    if elf.version_requirements:
+        lines.append("")
+        lines.append("Version References:")
+        for req in elf.version_requirements:
+            lines.append(f"  required from {req.filename}:")
+            for i, version in enumerate(req.versions, start=2):
+                lines.append(f"    0x{elf_hash(version.name):08x} "
+                             f"0x00 {i:02d} {version.name}")
+    return "\n".join(lines) + "\n"
+
+
+def render_readelf_dynamic(elf: ElfFile) -> str:
+    """``readelf -d`` style output."""
+    entries = elf.dynamic.entries
+    if not entries:
+        return "There is no dynamic section in this file.\n"
+    lines = [f"Dynamic section contains {len(entries) + 1} entries:",
+             "  Tag        Type                         Name/Value"]
+    strtab_lookup = {
+        DynamicTag.NEEDED: lambda v: f"Shared library: [{v}]",
+        DynamicTag.SONAME: lambda v: f"Library soname: [{v}]",
+        DynamicTag.RPATH: lambda v: f"Library rpath: [{v}]",
+        DynamicTag.RUNPATH: lambda v: f"Library runpath: [{v}]",
+    }
+    needed_iter = iter(elf.dynamic.needed)
+    for entry in entries:
+        tag = entry.tag_enum
+        label = _TAG_LABELS.get(tag, f"0x{entry.tag:x}")
+        if tag is DynamicTag.NEEDED:
+            value = strtab_lookup[tag](next(needed_iter, "?"))
+        elif tag is DynamicTag.SONAME and elf.dynamic.soname:
+            value = strtab_lookup[tag](elf.dynamic.soname)
+        elif tag is DynamicTag.RPATH and elf.dynamic.rpath:
+            value = strtab_lookup[tag](elf.dynamic.rpath)
+        elif tag is DynamicTag.RUNPATH and elf.dynamic.runpath:
+            value = strtab_lookup[tag](elf.dynamic.runpath)
+        else:
+            value = f"0x{entry.value:x}"
+        lines.append(f" 0x{entry.tag:016x} ({label:<12}) {value}")
+    lines.append(f" 0x{0:016x} ({'NULL':<12}) 0x0")
+    return "\n".join(lines) + "\n"
+
+
+def render_readelf_versions(elf: ElfFile) -> str:
+    """``readelf -V`` style output."""
+    lines = []
+    if elf.version_definitions:
+        lines.append(f"Version definitions section contains "
+                     f"{len(elf.version_definitions)} entries:")
+        for index, vdef in enumerate(elf.version_definitions, start=1):
+            flags = "BASE" if vdef.is_base else "none"
+            lines.append(f"  {index:03d}: Rev: 1  Flags: {flags}  "
+                         f"Index: {index}  Name: {vdef.name.name}")
+        lines.append("")
+    if elf.version_requirements:
+        lines.append(f"Version needs section contains "
+                     f"{len(elf.version_requirements)} entries:")
+        for req in elf.version_requirements:
+            lines.append(f"  Version: 1  File: {req.filename}  "
+                         f"Cnt: {len(req.versions)}")
+            for version in req.versions:
+                lines.append(f"    Name: {version.name}  Flags: none")
+        lines.append("")
+    if not lines:
+        return "No version information found in this file.\n"
+    return "\n".join(lines).rstrip("\n") + "\n"
+
+
+def render_readelf_comment(elf: ElfFile) -> str:
+    """``readelf -p .comment`` style output."""
+    if not elf.comment:
+        return "section '.comment' was not dumped because it does not exist\n"
+    lines = ["String dump of section '.comment':"]
+    offset = 0
+    for comment in elf.comment:
+        lines.append(f"  [{offset:6x}]  {comment}")
+        offset += len(comment) + 1
+    return "\n".join(lines) + "\n"

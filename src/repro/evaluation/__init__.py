@@ -1,0 +1,34 @@
+"""Evaluation harness: the paper's Section VI.
+
+* :mod:`repro.evaluation.experiment` -- the full methodology: build the
+  corpus, migrate every binary to every site with a matching MPI
+  implementation, form basic and extended predictions, execute with up to
+  five retries, apply resolution, and record everything.
+* :mod:`repro.evaluation.metrics` -- accuracy / success-rate /
+  failure-breakdown computations.
+* :mod:`repro.evaluation.tables` -- regenerate Tables I-IV and the in-text
+  measurements.
+* :mod:`repro.evaluation.figures` -- regenerate Figures 1-4 (textual).
+"""
+
+from repro.evaluation.experiment import (
+    ExperimentConfig,
+    ExperimentResult,
+    MigrationRecord,
+    run_experiment,
+)
+from repro.evaluation.metrics import (
+    accuracy_table,
+    failure_breakdown,
+    resolution_table,
+)
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentResult",
+    "MigrationRecord",
+    "accuracy_table",
+    "failure_breakdown",
+    "resolution_table",
+    "run_experiment",
+]

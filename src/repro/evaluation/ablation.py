@@ -1,0 +1,148 @@
+"""Ablation studies over the prediction model.
+
+The design choices DESIGN.md calls out:
+
+* **Determinant ablation** -- how much does each of the four determinants
+  contribute to prediction accuracy?  :func:`determinant_ablation` replays
+  the recorded per-determinant outcomes with subsets of the model enabled
+  (a disabled determinant always "passes"), against the same actual
+  outcomes.
+* **Resolution-depth ablation** -- how deep does the recursive copy
+  analysis need to go?  :func:`resolution_depth_ablation` reruns a reduced
+  experiment with ``max_resolution_depth`` limited.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, Optional, Sequence
+
+from repro.core.config import FeamConfig
+from repro.core.prediction import Determinant
+from repro.corpus.benchmarks import Suite
+from repro.corpus.builder import CorpusConfig
+from repro.evaluation.experiment import (
+    ExperimentConfig,
+    MigrationRecord,
+    run_experiment,
+)
+from repro.evaluation.metrics import resolution_table
+
+
+@dataclasses.dataclass(frozen=True)
+class AblationRow:
+    """Accuracy of one determinant subset."""
+
+    enabled: tuple[str, ...]
+    accuracy: float
+    predicted_ready_rate: float
+
+
+def _predict_with(record_determinants: dict,
+                  enabled: Sequence[Determinant]) -> bool:
+    """Would FEAM predict ready using only *enabled* determinants?
+
+    A determinant that was never evaluated (short-circuited) or is
+    disabled counts as passing; only a recorded False fails.
+    """
+    for determinant in enabled:
+        if record_determinants.get(determinant.value) is False:
+            return False
+    return True
+
+
+def determinant_ablation(records: Iterable[MigrationRecord],
+                         mode: str = "basic",
+                         ) -> list[AblationRow]:
+    """Accuracy of every leave-one-out and single-determinant model.
+
+    Compares against the actual outcome the mode describes (before
+    resolution for basic, after for extended).
+    """
+    records = list(records)
+    rows: list[AblationRow] = []
+    all_determinants = tuple(Determinant)
+    subsets: list[tuple[Determinant, ...]] = [all_determinants]
+    subsets += [tuple(d for d in all_determinants if d is not excluded)
+                for excluded in all_determinants]
+    subsets += [(d,) for d in all_determinants]
+    subsets.append(())
+    for subset in subsets:
+        correct = 0
+        ready = 0
+        for record in records:
+            determinants = (record.basic_determinants if mode == "basic"
+                            else record.extended_determinants)
+            actual = (record.actual_before_ok if mode == "basic"
+                      else record.actual_after_ok)
+            prediction = _predict_with(determinants, subset)
+            ready += prediction
+            correct += prediction == actual
+        rows.append(AblationRow(
+            enabled=tuple(d.value for d in subset),
+            accuracy=correct / len(records) if records else 0.0,
+            predicted_ready_rate=ready / len(records) if records else 0.0))
+    return rows
+
+
+def render_determinant_ablation(rows: list[AblationRow]) -> str:
+    """Human-readable ablation table."""
+    lines = ["DETERMINANT ABLATION (prediction accuracy by enabled subset)",
+             "",
+             f"{'enabled determinants':<58}{'accuracy':>10}{'ready%':>9}"]
+    for row in rows:
+        label = ", ".join(row.enabled) if row.enabled else "(none: always ready)"
+        lines.append(f"{label:<58}{row.accuracy:>9.1%}"
+                     f"{row.predicted_ready_rate:>9.1%}")
+    return "\n".join(lines) + "\n"
+
+
+@dataclasses.dataclass(frozen=True)
+class DepthRow:
+    """Resolution outcome at one recursion-depth limit."""
+
+    depth: int
+    after_success: dict[Suite, Optional[float]]
+    staged_total: int
+
+
+def resolution_depth_ablation(depths: Sequence[int] = (0, 1, 2, 8),
+                              seed: int = 20130101,
+                              corpus_size: int = 30) -> list[DepthRow]:
+    """Rerun a reduced experiment at each resolution-depth limit.
+
+    Depth 0 accepts a copy only when its own dependencies are already
+    present at the target; each deeper level allows one more link of the
+    dependency chain to be satisfied from the bundle.
+    """
+    rows: list[DepthRow] = []
+    for depth in depths:
+        config = ExperimentConfig(
+            seed=seed,
+            corpus=CorpusConfig(
+                seed=seed,
+                target_counts={Suite.NPB: corpus_size,
+                               Suite.SPEC: corpus_size}),
+            feam=FeamConfig(max_resolution_depth=depth))
+        result = run_experiment(config)
+        table = resolution_table(result.records)
+        rows.append(DepthRow(
+            depth=depth,
+            after_success={suite: table[suite]["after"] for suite in Suite},
+            staged_total=sum(r.resolution_staged for r in result.records)))
+    return rows
+
+
+def render_depth_ablation(rows: list[DepthRow]) -> str:
+    """Human-readable depth-ablation table."""
+    lines = ["RESOLUTION-DEPTH ABLATION (success after resolution)", "",
+             f"{'depth':<8}{'NAS after':>12}{'SPEC after':>12}"
+             f"{'copies staged':>15}"]
+    for row in rows:
+        nas = row.after_success.get(Suite.NPB)
+        spec = row.after_success.get(Suite.SPEC)
+        lines.append(
+            f"{row.depth:<8}"
+            f"{nas:>11.1%} {spec:>11.1%}"
+            f"{row.staged_total:>15}")
+    return "\n".join(lines) + "\n"

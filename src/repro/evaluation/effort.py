@@ -1,0 +1,158 @@
+"""User-effort model (the paper's future work, Section VII).
+
+"We are also interested in quantifying the amount of user effort required
+to perform migration tasks so that we can more concretely compute the
+efficiency gains of using our methods."  This module implements that
+quantification over the evaluation's migration records.
+
+The model charges human minutes for the steps a scientist performs by
+hand, with constants chosen from the paper's own framing ("without
+experience or support, scientists may need many hours to familiarize
+themselves with just one new environment"):
+
+Manual migration (per binary x site):
+
+* familiarise with the site's documentation and environment -- once per
+  site;
+* enumerate and pick an MPI stack (module spelunking);
+* submit-and-diagnose cycles: every failed execution costs a diagnosis
+  (reading stderr, searching the web, asking support) plus a re-submit;
+  the *kind* of failure decides the diagnosis cost -- a missing library
+  must be hunted down and copied by hand, a C-library failure takes long
+  to even understand, a system error just burns a retry;
+* manual library resolution when the binary needs staged copies.
+
+FEAM-assisted migration:
+
+* write the configuration file (submission-script format) -- once per
+  site;
+* run the source phase -- once per binary;
+* run the target phase and read the report -- per migration;
+* act on the verdict (run the activation script, or stop immediately when
+  the site is predicted not ready -- the biggest saving).
+
+Both totals are computed from the same :class:`MigrationRecord` ground
+truth, so the comparison is internally consistent.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable
+
+from repro.corpus.benchmarks import Suite
+from repro.evaluation.experiment import MigrationRecord
+
+
+@dataclasses.dataclass(frozen=True)
+class EffortConstants:
+    """Human minutes charged per step (model parameters)."""
+
+    site_familiarisation: float = 120.0
+    stack_discovery: float = 20.0
+    submit_cycle: float = 10.0
+    diagnose_missing_library: float = 45.0
+    diagnose_libc: float = 60.0
+    diagnose_abi_or_fpe: float = 50.0
+    diagnose_system_error: float = 15.0
+    manual_library_copy: float = 8.0  # per staged library
+    feam_write_config: float = 10.0
+    feam_source_phase: float = 5.0
+    feam_target_phase: float = 5.0
+    feam_read_report: float = 3.0
+
+
+_DIAGNOSIS_FIELD = {
+    "missing-shared-library": "diagnose_missing_library",
+    "c-library-version": "diagnose_libc",
+    "abi-incompatibility": "diagnose_abi_or_fpe",
+    "floating-point-exception": "diagnose_abi_or_fpe",
+    "mpi-stack-unusable": "diagnose_system_error",
+    "system-error": "diagnose_system_error",
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class EffortEstimate:
+    """Total human effort over a set of migrations, in hours."""
+
+    manual_hours: float
+    feam_hours: float
+    migrations: int
+
+    @property
+    def savings_factor(self) -> float:
+        if self.feam_hours <= 0:
+            return float("inf")
+        return self.manual_hours / self.feam_hours
+
+
+def estimate_effort(records: Iterable[MigrationRecord],
+                    constants: EffortConstants = EffortConstants(),
+                    ) -> EffortEstimate:
+    """Apply the effort model to migration records."""
+    records = list(records)
+    visited_sites_manual: set[str] = set()
+    configured_sites_feam: set[str] = set()
+    sourced_binaries: set[str] = set()
+    manual = 0.0
+    feam = 0.0
+    for record in records:
+        # -- manual path -----------------------------------------------------
+        if record.target_site not in visited_sites_manual:
+            visited_sites_manual.add(record.target_site)
+            manual += constants.site_familiarisation
+        manual += constants.stack_discovery
+        manual += constants.submit_cycle
+        if not record.actual_before_ok:
+            field = _DIAGNOSIS_FIELD.get(record.actual_before_failure or "",
+                                         "diagnose_system_error")
+            manual += getattr(constants, field)
+            if record.actual_after_ok and record.resolution_staged:
+                # The failure was fixable by copying libraries; doing that
+                # by hand costs per-library hunting plus a re-submit.
+                manual += (constants.manual_library_copy
+                           * record.resolution_staged)
+                manual += constants.submit_cycle
+        # -- FEAM path ---------------------------------------------------------
+        if record.target_site not in configured_sites_feam:
+            configured_sites_feam.add(record.target_site)
+            feam += constants.feam_write_config
+        if record.binary_id not in sourced_binaries:
+            sourced_binaries.add(record.binary_id)
+            feam += constants.feam_source_phase
+        feam += constants.feam_target_phase + constants.feam_read_report
+        if record.extended_ready:
+            feam += constants.submit_cycle  # the one informed submission
+    return EffortEstimate(manual_hours=manual / 60.0,
+                          feam_hours=feam / 60.0,
+                          migrations=len(records))
+
+
+def render_effort(records: Iterable[MigrationRecord],
+                  constants: EffortConstants = EffortConstants()) -> str:
+    """Human-readable effort comparison, overall and per suite."""
+    records = list(records)
+    lines = ["USER-EFFORT MODEL (paper Section VII future work)", ""]
+    header = (f"{'scope':<10}{'migrations':>12}{'manual (h)':>12}"
+              f"{'FEAM (h)':>10}{'saving':>9}")
+    lines.append(header)
+    lines.append("-" * len(header))
+    rows = [("all", records)]
+    rows += [(suite.value, [r for r in records if r.suite is suite])
+             for suite in Suite]
+    for label, members in rows:
+        estimate = estimate_effort(members, constants)
+        lines.append(
+            f"{label:<10}{estimate.migrations:>12}"
+            f"{estimate.manual_hours:>12.0f}"
+            f"{estimate.feam_hours:>10.0f}"
+            f"{estimate.savings_factor:>8.1f}x")
+    lines.append("")
+    lines.append("model constants (minutes): "
+                 f"site familiarisation {constants.site_familiarisation:.0f}, "
+                 f"failed-run diagnosis {constants.diagnose_missing_library:.0f}"
+                 f"-{constants.diagnose_libc:.0f}, "
+                 f"manual library copy {constants.manual_library_copy:.0f}, "
+                 f"FEAM phase {constants.feam_target_phase:.0f}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,94 @@
+"""Regenerate the paper's figures (textual renderings).
+
+Figures 1-4 in the paper are structural diagrams and lists rather than
+data plots; the renderers here produce them from the living code -- the
+determinant enum, the phase/component structure, and the information
+actually gathered by the BDC and EDC -- so they stay true to the
+implementation.
+"""
+
+from __future__ import annotations
+
+from repro.core.prediction import Determinant
+
+
+def render_figure1() -> str:
+    """Figure 1: prediction model determinants."""
+    questions = {
+        Determinant.ISA:
+            "Does a compatible ISA exist?",
+        Determinant.MPI_STACK:
+            "Is there a compatible MPI stack functioning?",
+        Determinant.C_LIBRARY:
+            "Are the application's C library requirements met?",
+        Determinant.SHARED_LIBRARIES:
+            "Are all the correct versions of the shared libraries the "
+            "application was linked against available?",
+    }
+    lines = ["FIGURE 1. PREDICTION MODEL DETERMINANTS", ""]
+    for i, determinant in enumerate(Determinant, start=1):
+        lines.append(f"  {i}) {questions[determinant]}")
+        lines.append(f"     [{determinant.value}]")
+    return "\n".join(lines) + "\n"
+
+
+def render_figure2() -> str:
+    """Figure 2: the phases and components of FEAM."""
+    return """FIGURE 2. THE PHASES AND COMPONENTS OF FEAM
+
+  source phase (optional, at a guaranteed execution environment)
+  ---------------------------------------------------------------
+    Binary Description Component  (repro.core.description)
+       |  describes the binary; gathers library copies; compiles
+       |  hello-world MPI programs with the binary's stack
+    Environment Discovery Component  (repro.core.discovery)
+       |  describes the guaranteed environment
+       v
+    bundle  -->  copied by the user to each target site
+
+  target phase (required, at every target site)
+  ---------------------------------------------------------------
+    Binary Description Component   (when the binary is present)
+    Environment Discovery Component
+       |
+       v
+    Target Evaluation Component  (repro.core.evaluation)
+       |  four-determinant prediction; hello-world stack tests;
+       |  resolution of missing shared libraries from the bundle
+       v
+    prediction + reasons + site configuration script
+"""
+
+
+def render_figure3() -> str:
+    """Figure 3: information gathered by the BDC."""
+    items = (
+        "ISA and file format of binary",
+        "Library name and version, if applicable",
+        "Required shared libraries, with copies and descriptions "
+        "if applicable",
+        "C library version requirements",
+        "MPI stack, operating system, and C library version used to "
+        "build binary",
+    )
+    lines = ["FIGURE 3. INFORMATION GATHERED BY THE BDC", ""]
+    lines += [f"  - {item}" for item in items]
+    lines.append("")
+    lines.append("  (fields of repro.core.description.BinaryDescription)")
+    return "\n".join(lines) + "\n"
+
+
+def render_figure4() -> str:
+    """Figure 4: information gathered by the EDC."""
+    items = (
+        "ISA format",
+        "Operating system",
+        "C library version",
+        "Available or currently loaded MPI stacks",
+        "Missing shared libraries",
+    )
+    lines = ["FIGURE 4. INFORMATION GATHERED BY THE EDC", ""]
+    lines += [f"  - {item}" for item in items]
+    lines.append("")
+    lines.append("  (fields of repro.core.discovery.EnvironmentDescription)")
+    return "\n".join(lines) + "\n"

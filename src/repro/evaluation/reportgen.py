@@ -1,0 +1,176 @@
+"""Markdown evaluation report.
+
+:func:`render_markdown_report` turns one :class:`ExperimentResult` into a
+self-contained markdown document -- measured values beside the paper's
+published numbers for every table and in-text claim, plus the
+beyond-the-paper analyses.  ``python -m repro report`` prints it;
+EXPERIMENTS.md in this repository is the curated version of the same
+content.
+"""
+
+from __future__ import annotations
+
+from repro.corpus.benchmarks import Suite
+from repro.evaluation.ablation import determinant_ablation
+from repro.evaluation.effort import estimate_effort
+from repro.evaluation.experiment import ExperimentResult
+from repro.evaluation.metrics import (
+    accuracy_table,
+    failure_breakdown,
+    missing_library_share,
+    resolution_table,
+)
+from repro.evaluation.tables import PAPER_TABLE3, PAPER_TABLE4
+
+
+def _pct(value) -> str:
+    return f"{100 * value:.0f}%" if value is not None else "n/a"
+
+
+def records_to_csv(result: ExperimentResult) -> str:
+    """Every migration record as CSV (for external analysis tools).
+
+    One row per migration; columns cover identities, both predictions,
+    both actual outcomes, the failure causes and the resolution counts.
+    """
+    import csv
+    import io
+
+    columns = [
+        "binary_id", "suite", "benchmark", "build_site", "build_stack",
+        "target_site", "naive_stack", "feam_stack",
+        "basic_ready", "extended_ready",
+        "actual_before_ok", "actual_before_failure",
+        "actual_after_ok", "actual_after_failure",
+        "resolution_staged", "resolution_unresolved",
+        "basic_feam_seconds", "extended_feam_seconds",
+    ]
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(columns)
+    for record in result.records:
+        writer.writerow([
+            record.binary_id, record.suite.value, record.benchmark,
+            record.build_site, record.build_stack, record.target_site,
+            record.naive_stack, record.feam_stack or "",
+            int(record.basic_ready), int(record.extended_ready),
+            int(record.actual_before_ok),
+            record.actual_before_failure or "",
+            int(record.actual_after_ok),
+            record.actual_after_failure or "",
+            record.resolution_staged, record.resolution_unresolved,
+            f"{record.basic_feam_seconds:.1f}",
+            f"{record.extended_feam_seconds:.1f}",
+        ])
+    return buffer.getvalue()
+
+
+def render_markdown_report(result: ExperimentResult) -> str:
+    """The full evaluation as a markdown document."""
+    records = result.records
+    acc = accuracy_table(records)
+    res = resolution_table(records)
+    breakdown = failure_breakdown(records, "before")
+    total_failures = sum(breakdown.values())
+    effort = estimate_effort(records)
+
+    lines: list[str] = []
+    out = lines.append
+
+    out("# FEAM reproduction — evaluation report")
+    out("")
+    out(f"Seed `{result.config.seed}` · "
+        f"{len(result.corpus.binaries)} test binaries "
+        f"({result.corpus.counts()[Suite.NPB]} NPB, "
+        f"{result.corpus.counts()[Suite.SPEC]} SPEC MPI2007) · "
+        f"{len(records)} reported migrations across "
+        f"{len(result.sites)} sites.")
+    out("")
+
+    out("## Prediction accuracy (paper Table III)")
+    out("")
+    out("| suite | basic (paper) | basic (measured) "
+        "| extended (paper) | extended (measured) |")
+    out("|---|---|---|---|---|")
+    for suite in Suite:
+        out(f"| {suite.value} "
+            f"| {_pct(PAPER_TABLE3[suite]['basic'])} "
+            f"| {_pct(acc[suite]['basic'])} "
+            f"| {_pct(PAPER_TABLE3[suite]['extended'])} "
+            f"| {_pct(acc[suite]['extended'])} |")
+    out("")
+
+    out("## Resolution impact (paper Table IV)")
+    out("")
+    out("| suite | before (paper/measured) | after (paper/measured) "
+        "| increase (paper/measured) |")
+    out("|---|---|---|---|")
+    for suite in Suite:
+        paper, measured = PAPER_TABLE4[suite], res[suite]
+        out(f"| {suite.value} "
+            f"| {_pct(paper['before'])} / {_pct(measured['before'])} "
+            f"| {_pct(paper['after'])} / {_pct(measured['after'])} "
+            f"| {_pct(paper['increase'])} / {_pct(measured['increase'])} |")
+    out("")
+
+    out("## Failure causes before resolution (paper Section VI.C)")
+    out("")
+    out(f"{total_failures} failing migrations; the paper reports missing "
+        f"shared libraries as 'more than half' — measured "
+        f"{_pct(missing_library_share(records))}.")
+    out("")
+    out("| cause | count | share |")
+    out("|---|---|---|")
+    for cause, count in breakdown.most_common():
+        out(f"| {cause} | {count} | {100 * count / total_failures:.0f}% |")
+    out("")
+
+    out("## Operational measurements")
+    out("")
+    out(f"- max source phase: {result.max_source_phase_seconds:.0f} s; "
+        f"max target phase: {result.max_target_phase_seconds:.0f} s "
+        f"(paper: always < 5 min)")
+    average_bundle = (sum(result.bundle_bytes_by_site.values())
+                      / max(len(result.bundle_bytes_by_site), 1))
+    out(f"- site-wide bundles: "
+        + ", ".join(f"{site} {size / 1e6:.1f} MB"
+                    for site, size in
+                    sorted(result.bundle_bytes_by_site.items()))
+        + f" (average {average_bundle / 1e6:.1f} MB; paper: ~45 MB)")
+    out(f"- modelled user effort: {effort.manual_hours:.0f} h manual vs "
+        f"{effort.feam_hours:.0f} h FEAM-assisted "
+        f"({effort.savings_factor:.1f}x; the paper's future-work "
+        f"quantification)")
+    out("")
+
+    out("## Determinant ablation (basic prediction)")
+    out("")
+    out("| enabled determinants | accuracy |")
+    out("|---|---|")
+    for row in determinant_ablation(records, mode="basic"):
+        label = ", ".join(row.enabled) if row.enabled else "(none)"
+        out(f"| {label} | {row.accuracy:.1%} |")
+    out("")
+
+    out("## Migration matrix (successes/migrations after resolution)")
+    out("")
+    names = [site.name for site in result.sites]
+    cells: dict[tuple[str, str], list[int]] = {}
+    for record in records:
+        counts = cells.setdefault(
+            (record.build_site, record.target_site), [0, 0])
+        counts[1] += 1
+        counts[0] += record.actual_after_ok
+    out("| build \\ target | " + " | ".join(names) + " |")
+    out("|---|" + "---|" * len(names))
+    for build in names:
+        row = [build]
+        for target in names:
+            if build == target:
+                row.append("—")
+            else:
+                counts = cells.get((build, target))
+                row.append(f"{counts[0]}/{counts[1]}" if counts else "n/a")
+        out("| " + " | ".join(row) + " |")
+    out("")
+    return "\n".join(lines)

@@ -1,0 +1,43 @@
+"""MPI stack substrate.
+
+MPI is an interface specification, not a link-level one (paper
+Section III.B): each implementation produces differently named libraries
+with different dependencies.  This package models the three open-source
+implementations of the paper -- Open MPI, MPICH2 and MVAPICH2 -- at the
+level that matters for migration:
+
+* :mod:`repro.mpi.implementations` -- per-release library sonames, the
+  dependencies injected into applications by the compiler wrappers, and
+  the installable library products (Table I's identification scheme falls
+  out of these).
+* :mod:`repro.mpi.stack` -- an MPI *stack* = implementation + compiler +
+  interconnect, and its installation layout at a site (lib/, bin/
+  wrappers, module file).
+* :mod:`repro.mpi.runtime` -- the simulated ``mpiexec``: ISA check, dynamic
+  loading against the site's filesystem, ABI/floating-point compatibility
+  between build and runtime stacks, and seeded system errors.
+"""
+
+from repro.mpi.implementations import (
+    MpiImplementationKind,
+    MpiRelease,
+    mpich2,
+    mvapich2,
+    open_mpi,
+)
+from repro.mpi.stack import Interconnect, MpiStackInstall, MpiStackSpec
+from repro.mpi.runtime import BuildProvenance, ExecutionSimulator, RunRequest
+
+__all__ = [
+    "BuildProvenance",
+    "ExecutionSimulator",
+    "Interconnect",
+    "MpiImplementationKind",
+    "MpiRelease",
+    "MpiStackInstall",
+    "MpiStackSpec",
+    "RunRequest",
+    "mpich2",
+    "mvapich2",
+    "open_mpi",
+]

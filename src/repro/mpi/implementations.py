@@ -1,0 +1,217 @@
+"""MPI implementation releases and their link-level footprints.
+
+The paper's Table I identifies implementations by the shared libraries
+applications are linked against:
+
+=============  ====================================================
+MVAPICH2       libmpich/libmpichf90, libibverbs, libibumad
+Open MPI       libnsl, libutil (alongside libmpi/libopen-rte/-pal)
+MPICH2         libmpich/libmpichf90 and *not* the MVAPICH identifiers
+=============  ====================================================
+
+The modelled soname schemes follow the real releases closely enough to
+reproduce the paper's migration behaviour: Open MPI 1.3 and 1.4 share
+``libmpi.so.0`` (so migrations load but may hit ABI divergence, "executes
+in some instances but not others"), while MVAPICH2 1.2 and the 1.7 series
+changed the libmpich soname (so migrations fail with a *missing* library
+that FEAM's resolution model can fix by copying).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import functools
+
+from repro.toolchain.compilers import Language, RuntimeDep
+from repro.toolchain.products import LibraryProduct
+
+
+class MpiImplementationKind(enum.Enum):
+    """The implementation *type*; compatibility requires equal types."""
+
+    OPEN_MPI = "Open MPI"
+    MPICH2 = "MPICH2"
+    MVAPICH2 = "MVAPICH2"
+
+    @property
+    def slug(self) -> str:
+        """Lower-case identifier used in paths and module names."""
+        return {"Open MPI": "openmpi", "MPICH2": "mpich2",
+                "MVAPICH2": "mvapich2"}[self.value]
+
+
+@dataclasses.dataclass(frozen=True)
+class MpiRelease:
+    """One release of an MPI implementation (e.g. Open MPI 1.4)."""
+
+    kind: MpiImplementationKind
+    version: str
+
+    def __str__(self) -> str:
+        return f"{self.kind.value} {self.version}"
+
+    @property
+    def slug(self) -> str:
+        return f"{self.kind.slug}-{self.version}"
+
+    @property
+    def version_tuple(self) -> tuple[int, ...]:
+        # "1.7rc1" / "1.7a2" -> (1, 7); suffixes denote pre-releases.
+        parts = []
+        for piece in self.version.split("."):
+            digits = ""
+            for ch in piece:
+                if ch.isdigit():
+                    digits += ch
+                else:
+                    break
+            if not digits:
+                break
+            parts.append(int(digits))
+        return tuple(parts)
+
+    # -- soname schemes -------------------------------------------------------
+
+    def _mpich_soname(self, fortran: bool = False) -> str:
+        """libmpich soname for MPICH-derived releases.
+
+        MVAPICH2 1.2 used the old ``libmpich.so.1.0`` naming; the 1.7
+        series and MPICH2 1.3/1.4 use ``libmpich.so.3``.
+        """
+        stem = "libmpichf90" if fortran else "libmpich"
+        if self.kind is MpiImplementationKind.MVAPICH2 and \
+                self.version_tuple < (1, 7):
+            return f"{stem}.so.1.0"
+        return f"{stem}.so.3"
+
+    # -- application link footprint ---------------------------------------------
+
+    def app_deps(self, language: Language) -> tuple[RuntimeDep, ...]:
+        """Libraries the compiler wrapper links into an application."""
+        if self.kind is MpiImplementationKind.OPEN_MPI:
+            deps = [RuntimeDep("libmpi.so.0"),
+                    RuntimeDep("libopen-rte.so.0"),
+                    RuntimeDep("libopen-pal.so.0"),
+                    RuntimeDep("libnsl.so.1"),
+                    RuntimeDep("libutil.so.1"),
+                    RuntimeDep("libdl.so.2")]
+            if language is Language.FORTRAN:
+                deps.insert(0, RuntimeDep("libmpi_f77.so.0"))
+                deps.insert(1, RuntimeDep("libmpi_f90.so.0"))
+            if language is Language.CXX:
+                deps.insert(0, RuntimeDep("libmpi_cxx.so.0"))
+            return tuple(deps)
+        # MPICH-derived (MPICH2 and MVAPICH2).
+        deps = [RuntimeDep(self._mpich_soname()),
+                RuntimeDep("librt.so.1")]
+        if self.version_tuple >= (1, 3):
+            deps.extend([RuntimeDep("libopa.so.1"), RuntimeDep("libmpl.so.1")])
+        if language is Language.FORTRAN:
+            deps.insert(0, RuntimeDep(self._mpich_soname(fortran=True)))
+        if self.kind is MpiImplementationKind.MVAPICH2:
+            deps.extend([RuntimeDep("libibverbs.so.1"),
+                         RuntimeDep("libibumad.so.3"),
+                         RuntimeDep("librdmacm.so.1")])
+        return tuple(deps)
+
+    # -- installed products --------------------------------------------------------
+
+    def products(self) -> tuple[LibraryProduct, ...]:
+        """Shared libraries shipped in ``<prefix>/lib`` by this release.
+
+        MPI implementations are usually compiled from source at the site,
+        so their glibc ceiling is moderate (2.7): libraries built on a
+        newer-glibc site produce copies that do not load on older-glibc
+        sites -- one of the paper's two causes of unresolvable missing
+        libraries (Section VI.C).
+        """
+        ceiling = (2, 7)
+        banner = (f"{self.kind.value} {self.version}",)
+        v = self.version
+        if self.kind is MpiImplementationKind.OPEN_MPI:
+            return (
+                LibraryProduct("libopen-pal.so.0",
+                               filename=f"libopen-pal.so.0.{v}",
+                               size=680_000,
+                               needed=("libnsl.so.1", "libutil.so.1",
+                                       "libm.so.6", "libdl.so.2"),
+                               glibc_ceiling=ceiling, comment=banner),
+                LibraryProduct("libopen-rte.so.0",
+                               filename=f"libopen-rte.so.0.{v}",
+                               size=920_000,
+                               needed=("libopen-pal.so.0", "libnsl.so.1",
+                                       "libutil.so.1"),
+                               glibc_ceiling=ceiling, comment=banner),
+                LibraryProduct("libmpi.so.0",
+                               filename=f"libmpi.so.0.{v}",
+                               size=2_400_000,
+                               exports=("MPI_Init", "MPI_Comm_size",
+                                        "MPI_Comm_rank", "MPI_Send",
+                                        "MPI_Recv", "MPI_Finalize"),
+                               needed=("libopen-rte.so.0",
+                                       "libopen-pal.so.0",
+                                       "libnsl.so.1", "libutil.so.1",
+                                       "libm.so.6"),
+                               glibc_ceiling=ceiling, comment=banner),
+                LibraryProduct("libmpi_f77.so.0",
+                               filename=f"libmpi_f77.so.0.{v}",
+                               size=260_000, needed=("libmpi.so.0",),
+                               exports=("mpi_init_", "mpi_comm_rank_",
+                                        "mpi_comm_size_", "mpi_finalize_"),
+                               glibc_ceiling=ceiling, comment=banner),
+                LibraryProduct("libmpi_f90.so.0",
+                               filename=f"libmpi_f90.so.0.{v}",
+                               size=90_000, needed=("libmpi_f77.so.0",
+                                                    "libmpi.so.0"),
+                               glibc_ceiling=ceiling, comment=banner),
+                LibraryProduct("libmpi_cxx.so.0",
+                               filename=f"libmpi_cxx.so.0.{v}",
+                               size=180_000, needed=("libmpi.so.0",),
+                               glibc_ceiling=ceiling, comment=banner),
+            )
+        # MPICH-derived.
+        mpich = self._mpich_soname()
+        mpichf90 = self._mpich_soname(fortran=True)
+        extra_needed: tuple[str, ...] = ("librt.so.1", "libm.so.6")
+        products = []
+        if self.version_tuple >= (1, 3):
+            products.append(LibraryProduct(
+                "libmpl.so.1", filename=f"libmpl.so.1.0.{v[-1] if v else 0}",
+                size=60_000, glibc_ceiling=ceiling, comment=banner))
+            products.append(LibraryProduct(
+                "libopa.so.1", size=40_000,
+                glibc_ceiling=ceiling, comment=banner))
+            extra_needed = extra_needed + ("libmpl.so.1", "libopa.so.1")
+        if self.kind is MpiImplementationKind.MVAPICH2:
+            extra_needed = extra_needed + (
+                "libibverbs.so.1", "libibumad.so.3", "librdmacm.so.1")
+        products.append(LibraryProduct(
+            mpich, filename=f"{mpich}.0.1", size=3_100_000,
+            needed=extra_needed, glibc_ceiling=ceiling, comment=banner,
+            exports=("MPI_Init", "MPI_Comm_size", "MPI_Comm_rank",
+                     "MPI_Send", "MPI_Recv", "MPI_Finalize")))
+        products.append(LibraryProduct(
+            mpichf90, filename=f"{mpichf90}.0.1", size=150_000,
+            needed=(mpich,), glibc_ceiling=ceiling, comment=banner,
+            exports=("mpi_init_", "mpi_comm_rank_", "mpi_comm_size_",
+                     "mpi_finalize_")))
+        return tuple(products)
+
+
+@functools.lru_cache(maxsize=None)
+def open_mpi(version: str) -> MpiRelease:
+    """Open MPI release *version*."""
+    return MpiRelease(MpiImplementationKind.OPEN_MPI, version)
+
+
+@functools.lru_cache(maxsize=None)
+def mpich2(version: str) -> MpiRelease:
+    """MPICH2 release *version*."""
+    return MpiRelease(MpiImplementationKind.MPICH2, version)
+
+
+@functools.lru_cache(maxsize=None)
+def mvapich2(version: str) -> MpiRelease:
+    """MVAPICH2 release *version*."""
+    return MpiRelease(MpiImplementationKind.MVAPICH2, version)

@@ -1,0 +1,43 @@
+"""Ground-truth provenance registry.
+
+The execution simulator needs to know which stack a binary was built with
+to model ABI/floating-point compatibility -- information that in reality
+lives in symbol-level details our ELF model does not carry.  The registry
+records it at compile time, keyed by the SHA-256 of the image, and the
+site's launcher looks it up at run time.
+
+FEAM never reads this registry: its predictions come exclusively from the
+tools layer.  The registry is the simulation's stand-in for "the bytes
+remember how they were built".
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Optional
+
+from repro.mpi.runtime import BuildProvenance
+
+
+def _key(image: bytes) -> str:
+    return hashlib.sha256(image).hexdigest()
+
+
+class ProvenanceRegistry:
+    """Image-hash -> build provenance map."""
+
+    def __init__(self) -> None:
+        self._by_hash: dict[str, BuildProvenance] = {}
+
+    def register(self, image: bytes, provenance: BuildProvenance) -> None:
+        self._by_hash[_key(image)] = provenance
+
+    def lookup(self, image: bytes) -> Optional[BuildProvenance]:
+        return self._by_hash.get(_key(image))
+
+    def __len__(self) -> int:
+        return len(self._by_hash)
+
+
+#: Process-wide registry shared by all sites of a simulation run.
+GLOBAL_REGISTRY = ProvenanceRegistry()

@@ -1,0 +1,254 @@
+"""Simulated ``mpiexec``: the ground-truth execution model.
+
+The evaluation needs to know whether a migrated binary *actually* executes
+at a target site.  :class:`ExecutionSimulator` reproduces the runtime
+behaviour of the paper's Section VI.C, in the real system's order:
+
+1. a misconfigured MPI stack fails every launch (the paper's "useable
+   stack" observation -- advertised stacks that run no programs at all);
+2. the kernel's ISA check and the dynamic loader run against the site's
+   filesystem (missing shared libraries, unsatisfied ``GLIBC_x.y``
+   versions);
+3. when the binary's MPI/compiler runtime resolves from a *different*
+   stack build than it was linked against (same soname, different release
+   or compiler), a deterministic pair-level draw decides between success,
+   an ABI failure and a floating-point exception -- modelling the paper's
+   "executes on Open MPI 1.3 in some instances but not others";
+4. seeded system errors: persistent per-(binary, site) "cursed" pairs
+   (failed daemon spawning, communication time-outs -- the failures FEAM
+   cannot predict) and transient per-attempt faults that retries absorb.
+
+All randomness is derived from :func:`repro.util.stable_uniform`, so runs
+are reproducible and a pair-level draw comes out identically for an
+application and for the hello-world probe built with the same stack --
+which is exactly why the paper's extended prediction catches ABI and
+floating-point issues.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from repro.sysmodel.env import Environment
+from repro.sysmodel.errors import ExecutionResult, FailureKind
+from repro.sysmodel.machine import Machine
+from repro.util.hashing import stable_uniform
+from repro.mpi.stack import MpiStackInstall, MpiStackSpec
+
+
+@dataclasses.dataclass(frozen=True)
+class BuildProvenance:
+    """Ground-truth build information for a binary (never visible to FEAM)."""
+
+    stack: MpiStackSpec
+    build_site: str
+    binary_name: str
+    suite: Optional[str] = None
+
+
+@dataclasses.dataclass
+class RunRequest:
+    """One launch of a binary through a stack's ``mpiexec``."""
+
+    binary: bytes
+    stack: MpiStackInstall
+    env: Environment
+    provenance: Optional[BuildProvenance] = None
+    nprocs: int = 4
+    #: Probability that this (binary, site, stack) pair persistently fails
+    #: with a system error (workload-dependent; hello-world probes use 0).
+    curse_probability: float = 0.0
+    attempt: int = 0
+    #: Launch command name; overridable per MPI type via FEAM's
+    #: configuration file (Section V.C).
+    launcher: str = "mpiexec"
+
+
+@dataclasses.dataclass(frozen=True)
+class AbiPairRates:
+    """Failure rates for one build-vs-runtime stack relationship."""
+
+    abi: float
+    floating_point: float
+
+    @property
+    def total(self) -> float:
+        return self.abi + self.floating_point
+
+
+def classify_pair(build: MpiStackSpec, runtime: MpiStackSpec) -> AbiPairRates:
+    """ABI/FP failure rates for running a *build*-stack binary on *runtime*.
+
+    Same release and compiler family: clean.  A pre-release/patch-level
+    difference (1.7a vs 1.7a2) is mildly risky; a minor-version difference
+    (1.3 vs 1.4) more so; crossing compiler families on top of that is the
+    worst case.  Rates are pair-level: every binary of the pair shares the
+    same deterministic draw.
+    """
+    same_version = build.release.version == runtime.release.version
+    same_series = build.release.version_tuple == runtime.release.version_tuple
+    same_compiler = (build.compiler.family is runtime.compiler.family)
+    if same_version and same_compiler:
+        return AbiPairRates(0.0, 0.0)
+    if same_version:  # compiler family differs only
+        return AbiPairRates(0.10, 0.05)
+    if same_series:  # e.g. 1.7a vs 1.7rc1
+        rates = AbiPairRates(0.08, 0.04)
+    else:  # e.g. 1.3 vs 1.4
+        rates = AbiPairRates(0.18, 0.08)
+    if not same_compiler:
+        rates = AbiPairRates(rates.abi + 0.08, rates.floating_point + 0.04)
+    return rates
+
+
+class ExecutionSimulator:
+    """Ground-truth launcher for one site."""
+
+    def __init__(self, machine: Machine, site_name: str, seed: int,
+                 misconfigured_stacks: frozenset[str] = frozenset(),
+                 transient_error_probability: float = 0.02,
+                 abi_scale: float = 1.0) -> None:
+        self.machine = machine
+        self.site_name = site_name
+        self.seed = seed
+        self.misconfigured_stacks = misconfigured_stacks
+        self.transient_error_probability = transient_error_probability
+        #: Multiplier on every ABI/floating-point pair rate -- the
+        #: sensitivity-analysis knob for the model's main free parameter.
+        self.abi_scale = abi_scale
+
+    # -- helpers -----------------------------------------------------------------
+
+    def stack_is_misconfigured(self, stack: MpiStackInstall) -> bool:
+        """Is this stack advertised but unable to launch anything?"""
+        return stack.spec.slug in self.misconfigured_stacks
+
+    @staticmethod
+    def _is_mpi_soname(soname: str) -> bool:
+        stem = soname.split(".so")[0]
+        return stem.startswith(("libmpi", "libmpich", "libopen-"))
+
+    def _mpi_resolved_from_stack(self, report, stack: MpiStackInstall) -> bool:
+        """Did any MPI library resolve from the stack's own libdir?"""
+        prefix = stack.libdir.rstrip("/") + "/"
+        for entry in report.entries:
+            if entry.path and entry.path.startswith(prefix):
+                return True
+        return False
+
+    def _mpi_resolved_from_copies(self, report,
+                                  stack: MpiStackInstall) -> bool:
+        """Did the MPI libraries resolve from staged copies instead?
+
+        Copies live outside both the stack prefix and the trusted system
+        directories (FEAM stages them under the user's home).
+        """
+        prefix = stack.libdir.rstrip("/") + "/"
+        for entry in report.entries:
+            if (entry.path and self._is_mpi_soname(entry.soname)
+                    and not entry.path.startswith(prefix)
+                    and not entry.path.startswith(("/lib", "/usr/lib"))):
+                return True
+        return False
+
+    # -- launch ---------------------------------------------------------------------
+
+    def run(self, request: RunRequest) -> ExecutionResult:
+        """Execute one launch attempt and report its outcome."""
+        stack = request.stack
+        launcher_path = stack.bindir.rstrip("/") + "/" + request.launcher
+        if not self.machine.fs.is_executable(launcher_path):
+            return ExecutionResult.fail(
+                FailureKind.MPI_STACK_UNUSABLE,
+                f"{request.launcher}: command not found in {stack.bindir}",
+                elapsed_seconds=1.0)
+        if self.stack_is_misconfigured(stack):
+            return ExecutionResult.fail(
+                FailureKind.MPI_STACK_UNUSABLE,
+                f"mpiexec ({stack.spec.slug}): daemon failed to start: "
+                f"stack is misconfigured",
+                elapsed_seconds=5.0)
+
+        failure, report = self.machine.check_loadable(
+            request.binary, request.env)
+        if failure is not None:
+            return failure
+
+        prov = request.provenance
+        if (prov is not None and report is not None
+                and prov.stack.fingerprint != stack.spec.fingerprint
+                and self._mpi_resolved_from_stack(report, stack)):
+            rates = classify_pair(prov.stack, stack.spec)
+            if self.abi_scale != 1.0:
+                rates = AbiPairRates(
+                    min(1.0, rates.abi * self.abi_scale),
+                    min(1.0, rates.floating_point * self.abi_scale))
+            if rates.total > 0:
+                draw = stable_uniform(
+                    self.seed, "abi-pair",
+                    *prov.stack.fingerprint, *stack.spec.fingerprint,
+                    self.site_name)
+                if draw < rates.abi:
+                    return ExecutionResult.fail(
+                        FailureKind.ABI_MISMATCH,
+                        f"symbol lookup error: MPI ABI mismatch between "
+                        f"{prov.stack.release} and {stack.spec.release}",
+                        elapsed_seconds=2.0)
+                if draw < rates.total:
+                    return ExecutionResult.fail(
+                        FailureKind.FLOATING_POINT,
+                        "program received SIGFPE: floating-point exception "
+                        "in mismatched runtime library",
+                        elapsed_seconds=8.0)
+
+        # Staged MPI library copies run the application's own MPI code
+        # under the *target's* launcher daemons -- a protocol pairing that
+        # fails for some release combinations (the paper's resolution
+        # attempts that "failed due to system errors" and ABI issues).
+        if (prov is not None and report is not None
+                and prov.stack.release.version != stack.spec.release.version
+                and self._mpi_resolved_from_copies(report, stack)):
+            draw = stable_uniform(
+                self.seed, "copy-launch",
+                *prov.stack.fingerprint, *stack.spec.fingerprint,
+                self.site_name)
+            copy_abi = min(1.0, 0.12 * self.abi_scale)
+            copy_fp = min(1.0, 0.05 * self.abi_scale)
+            if draw < copy_abi:
+                return ExecutionResult.fail(
+                    FailureKind.ABI_MISMATCH,
+                    f"copied {prov.stack.release} runtime is incompatible "
+                    f"with the {stack.spec.release} launcher",
+                    elapsed_seconds=4.0)
+            if draw < copy_abi + copy_fp:
+                return ExecutionResult.fail(
+                    FailureKind.FLOATING_POINT,
+                    "program received SIGFPE under copied MPI runtime",
+                    elapsed_seconds=9.0)
+
+        if prov is not None and request.curse_probability > 0:
+            curse = stable_uniform(
+                self.seed, "curse", prov.binary_name, prov.build_site,
+                self.site_name, stack.spec.slug)
+            if curse < request.curse_probability:
+                return ExecutionResult.fail(
+                    FailureKind.SYSTEM_ERROR,
+                    "mpiexec: timed out waiting for daemons / "
+                    "communication error",
+                    elapsed_seconds=300.0)
+
+        transient = stable_uniform(
+            self.seed, "transient",
+            prov.binary_name if prov else "<anon>",
+            self.site_name, stack.spec.slug, request.attempt)
+        if transient < self.transient_error_probability:
+            return ExecutionResult.fail(
+                FailureKind.SYSTEM_ERROR,
+                "mpiexec: transient daemon spawn failure",
+                elapsed_seconds=60.0)
+
+        elapsed = 2.0 + len(request.binary) / 200_000.0
+        return ExecutionResult.success(
+            stdout=f"[{self.site_name}] {request.nprocs} ranks completed\n",
+            elapsed_seconds=elapsed)

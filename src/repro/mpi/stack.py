@@ -1,0 +1,204 @@
+"""MPI stacks and their installation at sites.
+
+The paper defines an *MPI stack* as the combination of the MPI
+implementation, associated compilers, and interconnection network
+(Section I).  :class:`MpiStackSpec` captures that triple;
+:class:`MpiStackInstall` lays a stack out in a site's filesystem, the way
+site administrators install them:
+
+* ``<prefix>/lib`` -- the implementation's shared libraries, built against
+  the site's C library;
+* ``<prefix>/bin`` -- ``mpicc``/``mpif90``/... compiler wrapper *scripts*
+  (whose text reveals the underlying compiler, which is how FEAM's
+  environment discovery identifies the stack's compiler) and the
+  ``mpiexec``/``mpirun`` launchers;
+* path naming of the form ``/opt/openmpi-1.4-intel`` -- the convention the
+  paper's Section V.B mines for stack discovery when no module system is
+  available.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import posixpath
+from typing import Optional
+
+from repro.elf.constants import ElfClass, ElfData, ElfMachine, ElfType
+from repro.elf.writer import BinarySpec, write_elf
+from repro.sysmodel.machine import Machine
+from repro.toolchain.compilers import Compiler, Language
+from repro.toolchain.installs import CompilerInstall
+from repro.toolchain.libc import GlibcRelease, glibc_symbol
+from repro.mpi.implementations import MpiImplementationKind, MpiRelease
+
+
+class Interconnect(enum.Enum):
+    """Interconnection network types of the paper's sites."""
+
+    ETHERNET = "ethernet"
+    INFINIBAND = "infiniband"
+    NUMALINK = "numalink"  # Blacklight's SGI UV shared-memory fabric
+
+
+@dataclasses.dataclass(frozen=True)
+class MpiStackSpec:
+    """Implementation + compiler + interconnect."""
+
+    release: MpiRelease
+    compiler: Compiler
+    interconnect: Interconnect
+
+    @property
+    def kind(self) -> MpiImplementationKind:
+        return self.release.kind
+
+    @property
+    def slug(self) -> str:
+        """Conventional install/module name, e.g. ``openmpi-1.4-intel``."""
+        return f"{self.release.slug}-{self.compiler.family.value}"
+
+    @property
+    def fingerprint(self) -> tuple[str, str, str, str]:
+        """Key used for ABI-compatibility comparisons between stacks."""
+        return (self.kind.value, self.release.version,
+                self.compiler.family.value, self.compiler.version)
+
+    def __str__(self) -> str:
+        return (f"{self.release} ({self.compiler.family.value} "
+                f"{self.compiler.version}, {self.interconnect.value})")
+
+
+_WRAPPER_LANGS = {
+    "mpicc": Language.C,
+    "mpicxx": Language.CXX,
+    "mpiCC": Language.CXX,
+    "mpif77": Language.FORTRAN,
+    "mpif90": Language.FORTRAN,
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class MpiStackInstall:
+    """An MPI stack laid out at a site."""
+
+    spec: MpiStackSpec
+    compiler_install: CompilerInstall
+    prefix: str
+    #: Were static archives installed alongside the shared libraries?
+    #: Most sites of the era did not (paper Section VI.C).
+    has_static_libs: bool = False
+
+    @property
+    def bindir(self) -> str:
+        return posixpath.join(self.prefix, "bin")
+
+    @property
+    def libdir(self) -> str:
+        return posixpath.join(self.prefix, "lib")
+
+    @property
+    def module_name(self) -> str:
+        """Environment-module name, e.g. ``openmpi/1.4-intel``."""
+        return (f"{self.spec.release.kind.slug}/"
+                f"{self.spec.release.version}-"
+                f"{self.spec.compiler.family.value}")
+
+    def wrapper_path(self, name: str = "mpicc") -> str:
+        return posixpath.join(self.bindir, name)
+
+    @property
+    def mpiexec_path(self) -> str:
+        return posixpath.join(self.bindir, "mpiexec")
+
+    @property
+    def launcher_names(self) -> tuple[str, ...]:
+        """Launch commands this stack installs.
+
+        MVAPICH2 additionally ships ``mpirun_rsh`` (its native launcher,
+        which some sites document as the *only* supported one -- the
+        reason FEAM's configuration file allows a per-MPI-type override
+        of the default ``mpiexec``, Section V.C).
+        """
+        names = ("mpiexec", "mpirun")
+        if self.spec.kind is MpiImplementationKind.MVAPICH2:
+            names = names + ("mpirun_rsh",)
+        return names
+
+    # -- environment ------------------------------------------------------------
+
+    def env_additions(self) -> list[tuple[str, str]]:
+        """(variable, path) pairs a ``module load`` of this stack prepends.
+
+        The compiler's library directory rides along (module systems
+        express this as a dependency between the MPI and compiler
+        modules), unless the compiler runtimes already live on the default
+        loader path.
+        """
+        additions = [("PATH", self.bindir), ("LD_LIBRARY_PATH", self.libdir)]
+        if not self.compiler_install.on_default_loader_path:
+            additions.append(
+                ("LD_LIBRARY_PATH", self.compiler_install.libdir))
+            additions.append(("PATH", self.compiler_install.bindir))
+        return additions
+
+    # -- installation --------------------------------------------------------------
+
+    def _wrapper_text(self, name: str) -> str:
+        lang = _WRAPPER_LANGS.get(name, Language.C)
+        driver = self.compiler_install.driver_path(lang)
+        libs = " ".join(
+            "-l" + dep.soname[len("lib"):].split(".so")[0]
+            for dep in self.spec.release.app_deps(lang))
+        return (
+            "#!/bin/sh\n"
+            f"# {self.spec.release} compiler wrapper\n"
+            f"CC=\"{driver}\"\n"
+            f"prefix=\"{self.prefix}\"\n"
+            f"exec \"$CC\" -I\"$prefix/include\" -L\"$prefix/lib\" "
+            f"{libs} \"$@\"\n"
+        )
+
+    def install(self, machine: Machine, libc: GlibcRelease,
+                machine_kind: ElfMachine = ElfMachine.X86_64,
+                elf_class: ElfClass = ElfClass.ELF64,
+                data: ElfData = ElfData.LSB) -> None:
+        """Write the stack's libraries, wrappers and launchers into *machine*."""
+        fs = machine.fs
+        for product in self.spec.release.products():
+            product.install(fs, self.libdir, libc,
+                            machine_kind, elf_class, data)
+            if self.has_static_libs:
+                # Static archives alongside: ar(1) magic plus the stem.
+                stem = product.soname.split(".so")[0]
+                fs.write(posixpath.join(self.libdir, stem + ".a"),
+                         b"!<arch>\n" + stem.encode() + b"\n",
+                         mode=0o644)
+        for name in ("mpicc", "mpicxx", "mpif77", "mpif90"):
+            fs.write_text(self.wrapper_path(name),
+                          self._wrapper_text(name), mode=0o755)
+        launcher = BinarySpec(
+            machine=machine_kind, elf_class=elf_class, data=data,
+            etype=ElfType.EXEC, needed=("libc.so.6",),
+            version_requirements={"libc.so.6": (
+                glibc_symbol(libc.highest_at_most((2, 3, 4))),)},
+            comment=(f"{self.spec.release} launcher",),
+            payload_size=60_000)
+        image = write_elf(launcher)
+        for name in self.launcher_names:
+            fs.write(posixpath.join(self.bindir, name), image, mode=0o755)
+        fs.makedirs(posixpath.join(self.prefix, "include"))
+        fs.write_text(posixpath.join(self.prefix, "include", "mpi.h"),
+                      f"/* {self.spec.release} */\n")
+
+    @staticmethod
+    def conventional(spec: MpiStackSpec,
+                     compiler_install: CompilerInstall,
+                     prefix: Optional[str] = None,
+                     has_static_libs: bool = False) -> "MpiStackInstall":
+        """An install at the conventional ``/opt/<impl>-<ver>-<comp>`` path."""
+        return MpiStackInstall(
+            spec=spec,
+            compiler_install=compiler_install,
+            prefix=prefix or f"/opt/{spec.slug}",
+            has_static_libs=has_static_libs)

@@ -1,0 +1,39 @@
+"""Computing-site models.
+
+A *site* is a machine plus the operational layers FEAM interacts with: a
+user-environment management tool (Environment Modules or SoftEnv, paper
+Section V.B), a batch scheduler with queues and CPU-hour accounting
+(Section VI.C measures FEAM's cost through it), installed compilers, and
+installed MPI stacks.
+
+:mod:`repro.sites.catalog` reproduces the paper's Table II: the five
+evaluation sites (Ranger, Forge, Blacklight, India, Fir) with their exact
+operating systems, C-library and compiler versions, and MPI stacks.
+"""
+
+from repro.sites.modules import EnvironmentModules, ModuleSystem, NoModuleSystem
+from repro.sites.softenv import SoftEnv
+from repro.sites.scheduler import JobRecord, Queue, Scheduler, SchedulerFlavor
+from repro.sites.site import Site, SiteSpec, StackRequest
+from repro.sites.catalog import (
+    PAPER_SITE_SPECS,
+    build_paper_sites,
+    site_spec,
+)
+
+__all__ = [
+    "EnvironmentModules",
+    "JobRecord",
+    "ModuleSystem",
+    "NoModuleSystem",
+    "PAPER_SITE_SPECS",
+    "Queue",
+    "Scheduler",
+    "SchedulerFlavor",
+    "Site",
+    "SiteSpec",
+    "SoftEnv",
+    "StackRequest",
+    "build_paper_sites",
+    "site_spec",
+]

@@ -1,0 +1,138 @@
+"""Environment Modules emulation.
+
+The paper's EDC consults user-environment management tools to discover MPI
+stacks (Section V.B): it looks for Environment Modules configuration files,
+uses ``module avail`` to enumerate stacks and ``module list`` to see what
+is loaded.  This module implements a file-backed Environment Modules
+system: modulefiles live under ``/usr/share/Modules/modulefiles`` in the
+site's virtual filesystem, in (a subset of) real Tcl modulefile syntax, and
+``load`` applies their ``prepend-path`` operations to an environment.
+
+FEAM's discovery code never calls the Python objects directly for
+information that should come from files: presence is detected by the
+modulefile tree existing, and stack enumeration by walking it.
+"""
+
+from __future__ import annotations
+
+import posixpath
+from typing import Optional, Protocol
+
+from repro.sysmodel.env import Environment
+from repro.sysmodel.fs import VirtualFilesystem
+
+MODULEFILES_ROOT = "/usr/share/Modules/modulefiles"
+MODULES_INIT = "/usr/share/Modules/init/sh"
+
+
+class ModuleSystem(Protocol):
+    """Interface shared by the module-system emulations."""
+
+    def is_present(self) -> bool:
+        """Is this tool installed at the site?"""
+        ...
+
+    def avail(self) -> list[str]:
+        """Names of available modules (``module avail``)."""
+        ...
+
+    def load(self, name: str, env: Environment) -> None:
+        """Apply a module's environment operations (``module load``)."""
+        ...
+
+    def loaded(self, env: Environment) -> list[str]:
+        """Currently loaded modules (``module list``)."""
+        ...
+
+
+class EnvironmentModules:
+    """File-backed Environment Modules (Tcl ``modulefile`` subset)."""
+
+    def __init__(self, fs: VirtualFilesystem,
+                 root: str = MODULEFILES_ROOT) -> None:
+        self._fs = fs
+        self._root = root
+
+    @property
+    def root(self) -> str:
+        return self._root
+
+    def install(self) -> None:
+        """Create the Modules installation markers."""
+        self._fs.makedirs(self._root)
+        self._fs.write_text(
+            MODULES_INIT,
+            "# Modules init script\nmodule() { eval `modulecmd sh $*`; }\n")
+
+    def is_present(self) -> bool:
+        return self._fs.is_dir(self._root) and self._fs.is_file(MODULES_INIT)
+
+    # -- modulefile management ---------------------------------------------------
+
+    def write_modulefile(self, name: str,
+                         path_ops: list[tuple[str, str]],
+                         description: str = "") -> None:
+        """Write a modulefile for *name* with prepend-path operations."""
+        lines = ["#%Module1.0"]
+        if description:
+            lines.append(f"## {description}")
+        for var, value in path_ops:
+            lines.append(f"prepend-path {var} {value}")
+        self._fs.write_text(posixpath.join(self._root, name),
+                            "\n".join(lines) + "\n")
+
+    def avail(self) -> list[str]:
+        if not self._fs.is_dir(self._root):
+            return []
+        names = []
+        for path in self._fs.find_files(self._root):
+            rel = path[len(self._root):].lstrip("/")
+            if rel:
+                names.append(rel)
+        return sorted(names)
+
+    def _parse(self, name: str) -> list[tuple[str, str]]:
+        path = posixpath.join(self._root, name)
+        if not self._fs.is_file(path):
+            raise KeyError(f"no such module: {name}")
+        ops = []
+        for line in self._fs.read_text(path).splitlines():
+            parts = line.split()
+            if len(parts) == 3 and parts[0] in ("prepend-path", "append-path"):
+                ops.append((parts[0], parts[1], parts[2]))
+        return [(var, value) for op, var, value in ops]
+
+    def load(self, name: str, env: Environment) -> None:
+        for var, value in self._parse(name):
+            env.prepend_path(var, value)
+        env.append_path("LOADEDMODULES", name)
+
+    def loaded(self, env: Environment) -> list[str]:
+        return env.get_list("LOADEDMODULES")
+
+
+class NoModuleSystem:
+    """A site without any user-environment management tool.
+
+    FEAM's discovery falls back to filesystem search (paper: "If no
+    user-environment management tools are found, then we use the same
+    search methods as used by the BDC to locate shared libraries").
+    """
+
+    def is_present(self) -> bool:
+        return False
+
+    def avail(self) -> list[str]:
+        return []
+
+    def load(self, name: str, env: Environment) -> None:
+        raise KeyError(f"no module system available (loading {name!r})")
+
+    def loaded(self, env: Environment) -> list[str]:
+        return []
+
+
+def detect_module_system(fs: VirtualFilesystem) -> Optional[EnvironmentModules]:
+    """Detect an Environment Modules installation from its config files."""
+    modules = EnvironmentModules(fs)
+    return modules if modules.is_present() else None

@@ -1,0 +1,217 @@
+"""Batch scheduler simulation.
+
+The paper's sites run PBS, SGE or SLURM; FEAM requires the user to supply
+a serial and a parallel submission script per site (Section V), runs its
+phases through the batch system, and the evaluation measures the CPU hours
+consumed ("both FEAM's source and target phases always took less than five
+minutes to complete.  This makes FEAM ideal for submission via a debug
+queue").
+
+The :class:`Scheduler` keeps a simulated wall clock, models per-queue wait
+times deterministically, renders flavour-correct submission script
+templates, and accounts CPU hours per job.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Callable, Optional
+
+from repro.sysmodel.errors import ExecutionResult
+from repro.util.hashing import stable_uniform
+
+
+class SchedulerFlavor(enum.Enum):
+    """Batch systems found on the paper's sites."""
+
+    PBS = "pbs"
+    SGE = "sge"
+    SLURM = "slurm"
+
+
+@dataclasses.dataclass(frozen=True)
+class Queue:
+    """One batch queue."""
+
+    name: str
+    max_walltime_seconds: int
+    #: Mean queue wait; actual waits draw deterministically around it.
+    typical_wait_seconds: float
+
+    @property
+    def is_debug(self) -> bool:
+        return self.name == "debug"
+
+
+@dataclasses.dataclass(frozen=True)
+class JobRecord:
+    """Accounting record of one submitted job."""
+
+    job_id: int
+    name: str
+    queue: str
+    nprocs: int
+    wait_seconds: float
+    run_seconds: float
+    result: ExecutionResult
+
+    @property
+    def cpu_hours(self) -> float:
+        """CPU hours charged (cores x wall time of the run)."""
+        return self.nprocs * self.run_seconds / 3600.0
+
+
+DEFAULT_QUEUES = (
+    Queue("debug", max_walltime_seconds=1800, typical_wait_seconds=45.0),
+    Queue("normal", max_walltime_seconds=86400, typical_wait_seconds=1800.0),
+)
+
+
+class Scheduler:
+    """A site's batch system."""
+
+    def __init__(self, flavor: SchedulerFlavor, site_name: str, seed: int,
+                 queues: tuple[Queue, ...] = DEFAULT_QUEUES) -> None:
+        self.flavor = flavor
+        self.site_name = site_name
+        self.seed = seed
+        self.queues = {q.name: q for q in queues}
+        self.clock_seconds = 0.0
+        self.records: list[JobRecord] = []
+        self._next_job_id = 1
+
+    # -- submission scripts ------------------------------------------------------
+
+    def serial_template(self) -> str:
+        """The site's serial submission script (user-supplied FEAM input)."""
+        if self.flavor is SchedulerFlavor.PBS:
+            return ("#!/bin/sh\n#PBS -N {name}\n#PBS -q {queue}\n"
+                    "#PBS -l walltime={walltime}\n{command}\n")
+        if self.flavor is SchedulerFlavor.SGE:
+            return ("#!/bin/sh\n#$ -N {name}\n#$ -q {queue}\n"
+                    "#$ -l h_rt={walltime}\n{command}\n")
+        return ("#!/bin/sh\n#SBATCH -J {name}\n#SBATCH -p {queue}\n"
+                "#SBATCH -t {walltime}\n{command}\n")
+
+    def parallel_template(self) -> str:
+        """The site's parallel submission script."""
+        if self.flavor is SchedulerFlavor.PBS:
+            return ("#!/bin/sh\n#PBS -N {name}\n#PBS -q {queue}\n"
+                    "#PBS -l nodes={nodes}:ppn={ppn}\n"
+                    "{mpiexec} -n {nprocs} {command}\n")
+        if self.flavor is SchedulerFlavor.SGE:
+            return ("#!/bin/sh\n#$ -N {name}\n#$ -q {queue}\n"
+                    "#$ -pe mpi {nprocs}\n{mpiexec} -n {nprocs} {command}\n")
+        return ("#!/bin/sh\n#SBATCH -J {name}\n#SBATCH -p {queue}\n"
+                "#SBATCH -n {nprocs}\n{mpiexec} -n {nprocs} {command}\n")
+
+    # -- submission scripts as files -----------------------------------------------
+
+    def parse_directives(self, script_text: str) -> dict:
+        """Parse a submission script's directives (the inverse of the
+        templates above).
+
+        Understands the directive syntax of this scheduler's flavour and
+        returns the fields FEAM needs: ``name``, ``queue``, ``nprocs``
+        and the command line (the last non-directive, non-shebang line).
+        """
+        marker = {SchedulerFlavor.PBS: "#PBS",
+                  SchedulerFlavor.SGE: "#$",
+                  SchedulerFlavor.SLURM: "#SBATCH"}[self.flavor]
+        fields: dict = {"name": "job", "queue": "debug", "nprocs": 1,
+                        "command": ""}
+        for line in script_text.splitlines():
+            stripped = line.strip()
+            if not stripped or stripped.startswith("#!"):
+                continue
+            if stripped.startswith(marker):
+                parts = stripped[len(marker):].split()
+                self._apply_directive(fields, parts)
+            elif not stripped.startswith("#"):
+                fields["command"] = stripped
+        return fields
+
+    def _apply_directive(self, fields: dict, parts: list[str]) -> None:
+        if len(parts) < 2:
+            return
+        flag, value = parts[0], parts[1]
+        if self.flavor is SchedulerFlavor.PBS:
+            if flag == "-N":
+                fields["name"] = value
+            elif flag == "-q":
+                fields["queue"] = value
+            elif flag == "-l" and value.startswith("nodes="):
+                spec = dict(part.split("=", 1) for part in
+                            value.split(":") if "=" in part)
+                fields["nprocs"] = (int(spec.get("nodes", 1))
+                                    * int(spec.get("ppn", 1)))
+        elif self.flavor is SchedulerFlavor.SGE:
+            if flag == "-N":
+                fields["name"] = value
+            elif flag == "-q":
+                fields["queue"] = value
+            elif flag == "-pe" and len(parts) >= 3:
+                fields["nprocs"] = int(parts[2])
+        else:  # SLURM
+            if flag == "-J":
+                fields["name"] = value
+            elif flag == "-p":
+                fields["queue"] = value
+            elif flag == "-n":
+                fields["nprocs"] = int(value)
+
+    def submit_script(self, script_text: str, run: Callable[[], ExecutionResult],
+                      ) -> JobRecord:
+        """Submit a rendered submission script (``qsub``/``sbatch``).
+
+        The script's directives decide the queue, job name and size; the
+        *run* callable performs the work the command line stands for.
+        """
+        fields = self.parse_directives(script_text)
+        return self.submit(fields["name"], run, queue=fields["queue"],
+                           nprocs=max(1, int(fields["nprocs"])))
+
+    # -- execution ------------------------------------------------------------------
+
+    def _wait_time(self, queue: Queue, job_id: int) -> float:
+        """Deterministic queue wait around the queue's typical value."""
+        jitter = stable_uniform(self.seed, "qwait", self.site_name,
+                                queue.name, job_id)
+        return queue.typical_wait_seconds * (0.5 + jitter)
+
+    def submit(self, name: str, run: Callable[[], ExecutionResult],
+               queue: str = "debug", nprocs: int = 1) -> JobRecord:
+        """Submit a job; advances the simulated clock and accounts it.
+
+        *run* performs the actual work and reports its outcome with an
+        ``elapsed_seconds`` measurement; the scheduler adds queue wait.
+        """
+        q = self.queues.get(queue)
+        if q is None:
+            raise KeyError(f"no such queue at {self.site_name}: {queue}")
+        job_id = self._next_job_id
+        self._next_job_id += 1
+        wait = self._wait_time(q, job_id)
+        result = run()
+        run_seconds = min(result.elapsed_seconds, q.max_walltime_seconds)
+        self.clock_seconds += wait + run_seconds
+        record = JobRecord(
+            job_id=job_id, name=name, queue=queue, nprocs=nprocs,
+            wait_seconds=wait, run_seconds=run_seconds, result=result)
+        self.records.append(record)
+        return record
+
+    # -- accounting -----------------------------------------------------------------
+
+    @property
+    def total_cpu_hours(self) -> float:
+        return sum(r.cpu_hours for r in self.records)
+
+    def cpu_hours_for(self, name_prefix: str) -> float:
+        """CPU hours charged to jobs whose name starts with *name_prefix*."""
+        return sum(r.cpu_hours for r in self.records
+                   if r.name.startswith(name_prefix))
+
+    def has_debug_queue(self) -> bool:
+        return any(q.is_debug for q in self.queues.values())

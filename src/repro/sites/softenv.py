@@ -1,0 +1,77 @@
+"""SoftEnv emulation.
+
+SoftEnv (the MCS Systems Administration Toolkit's environment manager,
+paper reference [19]) is the second user-environment tool FEAM's discovery
+understands.  Its database lives in ``/etc/softenv.db`` as ``+key``
+entries, and users select keys in ``~/.soft``.
+
+The emulation implements the subset FEAM needs: presence detection via the
+database file, enumeration of keys, and applying a key's environment
+operations.
+"""
+
+from __future__ import annotations
+
+from repro.sysmodel.env import Environment
+from repro.sysmodel.fs import VirtualFilesystem
+
+SOFTENV_DB = "/etc/softenv.db"
+SOFT_FILE = "/etc/softenv-aliases.db"
+
+
+class SoftEnv:
+    """File-backed SoftEnv database."""
+
+    def __init__(self, fs: VirtualFilesystem, db_path: str = SOFTENV_DB) -> None:
+        self._fs = fs
+        self._db_path = db_path
+
+    def install(self) -> None:
+        """Create an empty database."""
+        if not self._fs.is_file(self._db_path):
+            self._fs.write_text(self._db_path, "# softenv database\n")
+
+    def is_present(self) -> bool:
+        return self._fs.is_file(self._db_path)
+
+    def add_key(self, key: str, path_ops: list[tuple[str, str]]) -> None:
+        """Register ``+key`` with its environment operations."""
+        existing = ""
+        if self._fs.is_file(self._db_path):
+            existing = self._fs.read_text(self._db_path)
+        ops = " ".join(f"{var}:{value}" for var, value in path_ops)
+        self._fs.write_text(self._db_path, existing + f"+{key} {ops}\n")
+
+    def avail(self) -> list[str]:
+        """All registered keys (``softenv`` listing)."""
+        if not self._fs.is_file(self._db_path):
+            return []
+        keys = []
+        for line in self._fs.read_text(self._db_path).splitlines():
+            line = line.strip()
+            if line.startswith("+"):
+                keys.append(line.split()[0][1:])
+        return sorted(keys)
+
+    def _ops_for(self, key: str) -> list[tuple[str, str]]:
+        if not self._fs.is_file(self._db_path):
+            raise KeyError(f"no softenv database at {self._db_path}")
+        for line in self._fs.read_text(self._db_path).splitlines():
+            parts = line.strip().split()
+            if parts and parts[0] == f"+{key}":
+                ops = []
+                for op in parts[1:]:
+                    var, _, value = op.partition(":")
+                    if value:
+                        ops.append((var, value))
+                return ops
+        raise KeyError(f"no such softenv key: {key}")
+
+    def load(self, key: str, env: Environment) -> None:
+        """Apply ``+key`` to *env* (what ``resoft`` does for ``~/.soft``)."""
+        for var, value in self._ops_for(key):
+            env.prepend_path(var, value)
+        env.append_path("LOADEDMODULES", key)
+
+    def loaded(self, env: Environment) -> list[str]:
+        return env.get_list("LOADEDMODULES")

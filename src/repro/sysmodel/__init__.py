@@ -1,0 +1,43 @@
+"""Simulated Linux machine substrate.
+
+The paper's evaluation runs on five real computing sites; this package
+provides the simulated equivalent: a virtual filesystem
+(:mod:`repro.sysmodel.fs`), shared-library naming rules
+(:mod:`repro.sysmodel.library`), OS/distribution identification files
+(:mod:`repro.sysmodel.distro`), process environments
+(:mod:`repro.sysmodel.env`), a faithful dynamic-loader simulation
+(:mod:`repro.sysmodel.loader`), the failure taxonomy of the paper's
+Section VI.C (:mod:`repro.sysmodel.errors`), and the :class:`Machine`
+aggregate that ties them together.
+"""
+
+from repro.sysmodel.errors import (
+    ExecutionFailure,
+    ExecutionOutcome,
+    ExecutionResult,
+    FailureKind,
+)
+from repro.sysmodel.fs import FileNode, FsError, VirtualFilesystem
+from repro.sysmodel.library import LibraryName, parse_library_name, sonames_compatible
+from repro.sysmodel.distro import Distro
+from repro.sysmodel.env import Environment
+from repro.sysmodel.loader import DynamicLoader, ResolutionReport
+from repro.sysmodel.machine import Machine
+
+__all__ = [
+    "Distro",
+    "DynamicLoader",
+    "Environment",
+    "ExecutionFailure",
+    "ExecutionOutcome",
+    "ExecutionResult",
+    "FailureKind",
+    "FileNode",
+    "FsError",
+    "LibraryName",
+    "Machine",
+    "ResolutionReport",
+    "VirtualFilesystem",
+    "parse_library_name",
+    "sonames_compatible",
+]

@@ -1,0 +1,84 @@
+"""Operating-system distribution models.
+
+FEAM's Environment Discovery Component identifies the running distribution
+from ``/proc/version`` and ``/etc/*release`` files (paper Section V.B).
+A :class:`Distro` knows how to materialise those files into a virtual
+filesystem so the discovery code has something real to parse.
+
+The models cover the three distribution families of the paper's Table II:
+CentOS, Red Hat Enterprise Linux, and SUSE Linux Enterprise Server.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.sysmodel.fs import VirtualFilesystem
+
+
+@dataclasses.dataclass(frozen=True)
+class Distro:
+    """A Linux distribution release."""
+
+    family: str  # "centos" | "rhel" | "sles"
+    version: str  # e.g. "4.9", "6.1", "11"
+    kernel_version: str  # e.g. "2.6.18-194.el5"
+    gcc_banner: str  # toolchain string embedded in /proc/version
+
+    @property
+    def pretty_name(self) -> str:
+        """Human-readable release string as found in the release file."""
+        if self.family == "centos":
+            return f"CentOS release {self.version} (Final)"
+        if self.family == "rhel":
+            return (f"Red Hat Enterprise Linux Server release {self.version} "
+                    f"(Santiago)" if self.version.startswith("6")
+                    else f"Red Hat Enterprise Linux Server release "
+                         f"{self.version} (Tikanga)")
+        if self.family == "sles":
+            return f"SUSE Linux Enterprise Server {self.version}"
+        return f"{self.family} {self.version}"
+
+    @property
+    def release_file(self) -> str:
+        """Path of the distribution's /etc release file."""
+        if self.family in ("centos", "rhel"):
+            return "/etc/redhat-release"
+        if self.family == "sles":
+            return "/etc/SuSE-release"
+        return "/etc/os-release"
+
+    def proc_version_text(self) -> str:
+        """Contents of ``/proc/version``."""
+        return (f"Linux version {self.kernel_version} "
+                f"(mockbuild@builder) ({self.gcc_banner}) "
+                f"#1 SMP\n")
+
+    def release_file_text(self) -> str:
+        """Contents of the /etc release file."""
+        if self.family == "sles":
+            major = self.version.split(".")[0]
+            patch = self.version.split(".")[1] if "." in self.version else "0"
+            return (f"SUSE Linux Enterprise Server {major} ({'x86_64'})\n"
+                    f"VERSION = {major}\nPATCHLEVEL = {patch}\n")
+        return self.pretty_name + "\n"
+
+    def materialise(self, fs: VirtualFilesystem) -> None:
+        """Write this distro's identification files into *fs*."""
+        fs.write_text("/proc/version", self.proc_version_text())
+        fs.write_text(self.release_file, self.release_file_text())
+        # Generic fallback some discovery paths look at.
+        fs.write_text("/etc/system-release", self.pretty_name + "\n")
+
+
+#: Well-known distro releases used by the paper's five sites (Table II).
+CENTOS_4_9 = Distro("centos", "4.9", "2.6.9-89.ELsmp",
+                    "gcc version 3.4.6 20060404 (Red Hat 3.4.6-11)")
+CENTOS_5_6 = Distro("centos", "5.6", "2.6.18-238.el5",
+                    "gcc version 4.1.2 20080704 (Red Hat 4.1.2-50)")
+RHEL_5_6 = Distro("rhel", "5.6", "2.6.18-238.el5",
+                  "gcc version 4.1.2 20080704 (Red Hat 4.1.2-50)")
+RHEL_6_1 = Distro("rhel", "6.1", "2.6.32-131.0.15.el6.x86_64",
+                  "gcc version 4.4.5 20110214 (Red Hat 4.4.5-6)")
+SLES_11 = Distro("sles", "11.1", "2.6.32.59-0.7-default",
+                 "gcc version 4.3.4 [gcc-4_3-branch revision 152973] (SUSE Linux)")

@@ -1,0 +1,73 @@
+"""Process environments.
+
+A thin mapping wrapper with the PATH-style list manipulation that the
+Environment Modules / SoftEnv emulations and FEAM's resolution model use
+(``module load`` prepends to PATH and LD_LIBRARY_PATH; resolution appends
+the staging directory of copied libraries).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping, MutableMapping, Optional
+
+
+class Environment(MutableMapping[str, str]):
+    """A process environment (string keys and values)."""
+
+    def __init__(self, initial: Optional[Mapping[str, str]] = None) -> None:
+        self._vars: dict[str, str] = dict(initial or {})
+        self._vars.setdefault("PATH", "/usr/bin:/bin")
+
+    # MutableMapping interface.
+    def __getitem__(self, key: str) -> str:
+        return self._vars[key]
+
+    def __setitem__(self, key: str, value: str) -> None:
+        self._vars[key] = str(value)
+
+    def __delitem__(self, key: str) -> None:
+        del self._vars[key]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._vars)
+
+    def __len__(self) -> int:
+        return len(self._vars)
+
+    # PATH-style helpers.
+    def get_list(self, key: str) -> list[str]:
+        """Split a colon-separated variable into entries (empty removed)."""
+        raw = self._vars.get(key, "")
+        return [p for p in raw.split(":") if p]
+
+    def prepend_path(self, key: str, path: str) -> None:
+        """Prepend *path* to a colon-separated variable, deduplicating."""
+        entries = [p for p in self.get_list(key) if p != path]
+        self._vars[key] = ":".join([path] + entries)
+
+    def append_path(self, key: str, path: str) -> None:
+        """Append *path* to a colon-separated variable, deduplicating."""
+        entries = [p for p in self.get_list(key) if p != path]
+        self._vars[key] = ":".join(entries + [path])
+
+    def remove_path(self, key: str, path: str) -> None:
+        """Remove *path* from a colon-separated variable if present."""
+        entries = [p for p in self.get_list(key) if p != path]
+        if entries:
+            self._vars[key] = ":".join(entries)
+        else:
+            self._vars.pop(key, None)
+
+    def copy(self) -> "Environment":
+        """An independent copy of this environment."""
+        return Environment(self._vars)
+
+    @property
+    def path(self) -> list[str]:
+        """Entries of PATH."""
+        return self.get_list("PATH")
+
+    @property
+    def ld_library_path(self) -> list[str]:
+        """Entries of LD_LIBRARY_PATH."""
+        return self.get_list("LD_LIBRARY_PATH")

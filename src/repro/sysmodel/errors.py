@@ -1,0 +1,92 @@
+"""Execution-failure taxonomy.
+
+Section VI.C of the paper classifies actual execution failures into:
+missing shared libraries (more than half of failures), C-library version
+requirements, floating-point exceptions / ABI incompatibilities, and system
+errors (failed MPI daemon spawning, communication time-outs).  This module
+defines those categories so the evaluation harness can reproduce the
+failure-cause breakdown.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Optional
+
+
+class FailureKind(enum.Enum):
+    """Why a simulated execution failed."""
+
+    #: Binary compiled for an ISA/word-length the site cannot execute.
+    EXEC_FORMAT = "exec-format-error"
+    #: A DT_NEEDED shared library could not be located at runtime.
+    MISSING_LIBRARY = "missing-shared-library"
+    #: A referenced symbol version (e.g. ``GLIBC_2.12``) is not defined by
+    #: the library found -- the paper's C-library-requirement failure class.
+    LIBC_VERSION = "c-library-version"
+    #: Incompatible application binary interface between the binary's build
+    #: stack and the site's stack (link-level mismatch of same-soname libs).
+    ABI_MISMATCH = "abi-incompatibility"
+    #: Floating-point exception triggered by mismatched runtime libraries.
+    FLOATING_POINT = "floating-point-exception"
+    #: No MPI stack of a compatible implementation type at the site.
+    NO_MPI_STACK = "no-matching-mpi-stack"
+    #: The selected MPI stack is misconfigured (no program can launch).
+    MPI_STACK_UNUSABLE = "mpi-stack-unusable"
+    #: Transient infrastructure fault: daemon spawn failure, time-out.
+    SYSTEM_ERROR = "system-error"
+
+    @property
+    def predictable(self) -> bool:
+        """Whether FEAM's model can in principle predict this failure.
+
+        System errors are explicitly unpredictable (Section VI.C: "Our model
+        was unable to predict failures due to system errors").
+        """
+        return self is not FailureKind.SYSTEM_ERROR
+
+
+class ExecutionOutcome(enum.Enum):
+    """Result of a simulated execution attempt."""
+
+    SUCCESS = "success"
+    FAILURE = "failure"
+
+
+@dataclasses.dataclass(frozen=True)
+class ExecutionFailure:
+    """A single failure with its cause and a loader/runtime style message."""
+
+    kind: FailureKind
+    detail: str
+
+    def __str__(self) -> str:
+        return f"{self.kind.value}: {self.detail}"
+
+
+@dataclasses.dataclass(frozen=True)
+class ExecutionResult:
+    """Outcome of one execution attempt of a binary at a site."""
+
+    outcome: ExecutionOutcome
+    failure: Optional[ExecutionFailure] = None
+    stdout: str = ""
+    #: Simulated wall-clock seconds consumed by the attempt.
+    elapsed_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.outcome is ExecutionOutcome.SUCCESS
+
+    @staticmethod
+    def success(stdout: str = "", elapsed_seconds: float = 0.0) -> "ExecutionResult":
+        return ExecutionResult(ExecutionOutcome.SUCCESS, None, stdout,
+                               elapsed_seconds)
+
+    @staticmethod
+    def fail(kind: FailureKind, detail: str,
+             elapsed_seconds: float = 0.0) -> "ExecutionResult":
+        return ExecutionResult(
+            ExecutionOutcome.FAILURE, ExecutionFailure(kind, detail), "",
+            elapsed_seconds)

@@ -1,0 +1,109 @@
+"""Shared-library naming and version conventions.
+
+Section III.D of the paper bases shared-library compatibility on the Linux
+naming convention ``lib<name>.so.<major_version>.<minor_version>...``:
+libraries with equal *major* versions are guaranteed API-compatible, while
+minor versions add backwards-compatible changes.
+
+:func:`parse_library_name` decodes a filename (or soname) into a
+:class:`LibraryName`; :func:`sonames_compatible` implements the paper's
+compatibility rule.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+from typing import Optional
+
+_LIB_RE = re.compile(
+    r"^(?P<stem>lib[A-Za-z0-9_+.-]+?)\.so(?:\.(?P<version>[0-9][0-9.]*))?$")
+
+
+@dataclasses.dataclass(frozen=True)
+class LibraryName:
+    """Decoded shared-library name.
+
+    ``libmpich.so.1.2`` decodes to stem ``libmpich``, version ``(1, 2)``,
+    base soname ``libmpich.so.1``; an unversioned ``libimf.so`` has an empty
+    version tuple.
+    """
+
+    stem: str
+    version: tuple[int, ...] = ()
+
+    @property
+    def major(self) -> Optional[int]:
+        """Major version number, or None for unversioned libraries."""
+        return self.version[0] if self.version else None
+
+    @property
+    def base_name(self) -> str:
+        """Linker name without any version suffix, e.g. ``libmpich.so``."""
+        return f"{self.stem}.so"
+
+    @property
+    def soname(self) -> str:
+        """Conventional soname: linker name plus the major version."""
+        if self.major is None:
+            return self.base_name
+        return f"{self.base_name}.{self.major}"
+
+    @property
+    def full_name(self) -> str:
+        """Full filename including every version component."""
+        if not self.version:
+            return self.base_name
+        return self.base_name + "." + ".".join(str(v) for v in self.version)
+
+    def with_version(self, *version: int) -> "LibraryName":
+        """A copy of this name with a different version tuple."""
+        return LibraryName(stem=self.stem, version=tuple(version))
+
+
+def parse_library_name(filename: str) -> Optional[LibraryName]:
+    """Decode a library filename/soname; None when it is not a library name.
+
+    Accepts a path or bare filename.
+    """
+    base = filename.rsplit("/", 1)[-1]
+    m = _LIB_RE.match(base)
+    if not m:
+        return None
+    version_str = m.group("version")
+    version: tuple[int, ...] = ()
+    if version_str:
+        version = tuple(int(p) for p in version_str.split(".") if p)
+    return LibraryName(stem=m.group("stem"), version=version)
+
+
+def sonames_compatible(required: str, available: str) -> bool:
+    """Paper rule: same library stem and equal major version are compatible.
+
+    ``required`` is the soname a binary was linked against (its DT_NEEDED
+    entry); ``available`` is the filename or soname of a candidate library.
+    Unversioned names match only by stem.  Minor versions are ignored, per
+    the convention that equal majors guarantee compatible APIs.
+    """
+    req = parse_library_name(required)
+    avail = parse_library_name(available)
+    if req is None or avail is None:
+        return required == available
+    if req.stem != avail.stem:
+        return False
+    return req.major == avail.major
+
+
+def minor_at_least(required: str, available: str) -> bool:
+    """True when *available* also satisfies the minor-version ordering.
+
+    Stricter than :func:`sonames_compatible`: additionally requires the
+    available minor version to be >= the required minor version.  Used by
+    the resolution ablation study.
+    """
+    if not sonames_compatible(required, available):
+        return False
+    req = parse_library_name(required)
+    avail = parse_library_name(available)
+    assert req is not None and avail is not None
+    return avail.version[1:] >= req.version[1:]

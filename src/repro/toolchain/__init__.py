@@ -1,0 +1,42 @@
+"""Compiler / linker / C-library simulation.
+
+The paper's test binaries were produced by real toolchains (GNU, Intel and
+PGI compilers against various glibc releases, through MPI compiler
+wrappers).  This package reproduces the *link-level outcome* of those
+toolchains: given a language, a compiler, a C library and an MPI stack,
+:mod:`repro.toolchain.linker` emits a genuine ELF image whose ``DT_NEEDED``
+list, GNU symbol-version references and ``.comment`` banner match what the
+real toolchain would have produced.
+
+* :mod:`repro.toolchain.libc` -- glibc releases: symbol-version history,
+  member libraries, installable ELF products.
+* :mod:`repro.toolchain.compilers` -- GNU/Intel/PGI compiler models and
+  their runtime libraries.
+* :mod:`repro.toolchain.linker` -- the link step.
+"""
+
+from repro.toolchain.libc import GLIBC_HISTORY, GlibcRelease, glibc
+from repro.toolchain.compilers import (
+    Compiler,
+    CompilerFamily,
+    Language,
+    gnu,
+    intel,
+    pgi,
+)
+from repro.toolchain.linker import LinkInput, LinkedObject, link_program
+
+__all__ = [
+    "Compiler",
+    "CompilerFamily",
+    "GLIBC_HISTORY",
+    "GlibcRelease",
+    "Language",
+    "LinkInput",
+    "LinkedObject",
+    "glibc",
+    "gnu",
+    "intel",
+    "link_program",
+    "pgi",
+]

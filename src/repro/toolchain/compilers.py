@@ -1,0 +1,279 @@
+"""Compiler models: GNU, Intel and PGI.
+
+A :class:`Compiler` knows, per language, which runtime shared libraries an
+application linked by it depends on (and which symbol versions of those
+libraries it references), which library products its installation ships,
+and the banner strings it records in the ``.comment`` section of the
+binaries it produces.
+
+The modelled version-to-runtime mapping follows the real toolchains:
+
+* GNU 3.4 links Fortran against ``libg2c.so.0`` (g77); 4.1 against
+  ``libgfortran.so.1``; 4.3/4.4 against ``libgfortran.so.3``.
+* GNU libstdc++ symbol versions grow with the compiler
+  (``GLIBCXX_3.4`` .. ``GLIBCXX_3.4.13``), which is why C++ binaries built
+  with a newer GCC fail on sites with an older system libstdc++.
+* Intel's runtime sonames (``libifcore.so.5``, ``libintlc.so.5``) span the
+  Intel 9..12 era; the maths libraries (``libimf.so``, ``libsvml.so``) are
+  unversioned.  Vendor runtimes are built portable (low glibc ceiling).
+* PGI runtimes are unversioned sonames under a private prefix that is only
+  reachable through the environment -- the classic missing-library case
+  when a PGI-built binary migrates to a site without PGI.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import functools
+
+from repro.toolchain.products import LibraryProduct
+
+
+class Language(enum.Enum):
+    """Source language of an application."""
+
+    C = "c"
+    CXX = "c++"
+    FORTRAN = "fortran"
+
+
+class CompilerFamily(enum.Enum):
+    """Compiler vendor family (paper: GNU, Intel, PGI)."""
+
+    GNU = "gnu"
+    INTEL = "intel"
+    PGI = "pgi"
+
+    @property
+    def short_code(self) -> str:
+        """Single-letter code used in the paper's Table II (g/i/p)."""
+        return {"gnu": "g", "intel": "i", "pgi": "p"}[self.value]
+
+
+@dataclasses.dataclass(frozen=True)
+class RuntimeDep:
+    """One runtime library an application linked by a compiler needs."""
+
+    soname: str
+    versions: tuple[str, ...] = ()
+
+
+#: GLIBCXX symbol-version history (libstdc++.so.6), in release order.
+GLIBCXX_HISTORY: tuple[str, ...] = tuple(
+    ["GLIBCXX_3.4"] + [f"GLIBCXX_3.4.{i}" for i in range(1, 18)])
+
+
+def _glibcxx_upto(level: str) -> tuple[str, ...]:
+    idx = GLIBCXX_HISTORY.index(level)
+    return GLIBCXX_HISTORY[:idx + 1]
+
+
+@dataclasses.dataclass(frozen=True)
+class Compiler:
+    """One compiler release, e.g. GNU 4.1.2 or Intel 11.1."""
+
+    family: CompilerFamily
+    version: str
+    languages: tuple[Language, ...] = (Language.C, Language.CXX,
+                                       Language.FORTRAN)
+
+    def __str__(self) -> str:
+        return f"{self.family.value}-{self.version}"
+
+    @property
+    def version_tuple(self) -> tuple[int, ...]:
+        return tuple(int(p) for p in self.version.split("."))
+
+    def supports(self, language: Language) -> bool:
+        return language in self.languages
+
+    # -- GNU internals ------------------------------------------------------
+
+    def _gnu_fortran_runtime(self) -> RuntimeDep:
+        v = self.version_tuple
+        if v < (4, 0):
+            return RuntimeDep("libg2c.so.0")
+        if v < (4, 2):
+            return RuntimeDep("libgfortran.so.1", ("GFORTRAN_1.0",))
+        return RuntimeDep("libgfortran.so.3", ("GFORTRAN_1.0",))
+
+    def _gnu_cxx_level(self) -> str:
+        v = self.version_tuple
+        if v < (4, 0):
+            return "GLIBCXX_3.4"
+        if v < (4, 2):
+            return "GLIBCXX_3.4.8"
+        if v < (4, 4):
+            return "GLIBCXX_3.4.10"
+        if v < (4, 5):
+            return "GLIBCXX_3.4.13"
+        return "GLIBCXX_3.4.15"
+
+    def _gnu_gcc_s_versions(self) -> tuple[str, ...]:
+        v = self.version_tuple
+        if v < (4, 2):
+            return ("GCC_3.0", "GCC_3.3")
+        return ("GCC_3.0", "GCC_3.3", "GCC_4.2.0")
+
+    # -- application-side runtime dependencies --------------------------------
+
+    def runtime_deps(self, language: Language) -> tuple[RuntimeDep, ...]:
+        """Runtime libraries an application linked for *language* needs.
+
+        Does not include the MPI libraries (the MPI wrapper adds those) nor
+        the C library itself (the linker always adds it).
+        """
+        if not self.supports(language):
+            raise ValueError(f"{self} does not support {language.value}")
+        if self.family is CompilerFamily.GNU:
+            deps = [RuntimeDep("libgcc_s.so.1", self._gnu_gcc_s_versions()[:1])]
+            if language is Language.CXX:
+                deps.insert(0, RuntimeDep(
+                    "libstdc++.so.6",
+                    (self._gnu_cxx_level(), "CXXABI_1.3")))
+            if language is Language.FORTRAN:
+                deps.insert(0, self._gnu_fortran_runtime())
+            deps.append(RuntimeDep("libm.so.6"))
+            return tuple(deps)
+        if self.family is CompilerFamily.INTEL:
+            # The libifcore.so.5 / libintlc.so.5 sonames span the Intel
+            # 9..12 era, so same-soname libraries from different Intel
+            # releases substitute for each other at load time.
+            deps = [RuntimeDep("libimf.so"), RuntimeDep("libsvml.so"),
+                    RuntimeDep("libintlc.so.5")]
+            if language is Language.FORTRAN:
+                deps = [RuntimeDep("libifcore.so.5"),
+                        RuntimeDep("libifport.so.5")] + deps
+            if language is Language.CXX:
+                # Intel C++ uses the system libstdc++.
+                deps.insert(0, RuntimeDep(
+                    "libstdc++.so.6", ("GLIBCXX_3.4", "CXXABI_1.3")))
+            deps.append(RuntimeDep("libm.so.6"))
+            return tuple(deps)
+        # PGI
+        deps = [RuntimeDep("libpgc.so")]
+        if language is Language.FORTRAN:
+            deps = [RuntimeDep("libpgf90.so"), RuntimeDep("libpgf90rtl.so"),
+                    RuntimeDep("libpgftnrtl.so")] + deps
+        if language is Language.CXX:
+            deps.insert(0, RuntimeDep("libstd.so"))
+        deps.append(RuntimeDep("libm.so.6"))
+        return tuple(deps)
+
+    # -- installed products ----------------------------------------------------
+
+    def products(self) -> tuple[LibraryProduct, ...]:
+        """Shared-library products shipped by this compiler installation."""
+        if self.family is CompilerFamily.GNU:
+            prods = [LibraryProduct(
+                "libgcc_s.so.1", filename="libgcc_s-" + self.version + ".so.1",
+                verdefs=self._gnu_gcc_s_versions(),
+                size=90_000, glibc_ceiling=(2, 2, 5),
+                comment=(self.comment_banner(),))]
+            fortran = self._gnu_fortran_runtime()
+            prods.append(LibraryProduct(
+                fortran.soname,
+                filename=fortran.soname + ".0.0",
+                verdefs=("GFORTRAN_1.0",) if fortran.versions else (),
+                size=1_100_000, needed=("libm.so.6",),
+                exports=(("_gfortran_st_write", "_gfortran_st_read",
+                          "_gfortran_stop_numeric")
+                         if fortran.versions else
+                         ("s_wsfe", "do_fio", "e_wsfe")),
+                # System-built GNU runtimes track the host glibc fairly
+                # closely; this ceiling is what makes their copies
+                # non-portable to older-libc sites.
+                glibc_ceiling=(2, 7),
+                comment=(self.comment_banner(),)))
+            prods.append(LibraryProduct(
+                "libstdc++.so.6",
+                filename="libstdc++.so.6.0." + str(
+                    len(_glibcxx_upto(self._gnu_cxx_level()))),
+                verdefs=_glibcxx_upto(self._gnu_cxx_level()) + ("CXXABI_1.3",),
+                size=980_000, needed=("libm.so.6", "libgcc_s.so.1"),
+                exports=("_ZNSt8ios_base4InitC1Ev", "_ZSt4cout",
+                         "_Znwm", "_ZdlPv"),
+                glibc_ceiling=(2, 7),
+                comment=(self.comment_banner(),)))
+            return tuple(prods)
+        if self.family is CompilerFamily.INTEL:
+            banner = (self.comment_banner(),)
+            # Vendor-shipped runtimes are built portable (low ceiling).
+            return (
+                LibraryProduct("libimf.so", size=2_300_000,
+                               glibc_ceiling=(2, 3), comment=banner,
+                               exports=("exp", "log", "pow", "sqrtf")),
+                LibraryProduct("libsvml.so", size=6_500_000,
+                               glibc_ceiling=(2, 3), comment=banner),
+                LibraryProduct("libintlc.so.5", size=180_000,
+                               glibc_ceiling=(2, 3), comment=banner),
+                LibraryProduct("libifcore.so.5", size=1_700_000,
+                               needed=("libimf.so", "libintlc.so.5"),
+                               glibc_ceiling=(2, 3, 4), comment=banner,
+                               exports=("for_write_seq_lis",
+                                        "for_read_seq_lis", "for_stop_core")),
+                LibraryProduct("libifport.so.5", size=340_000,
+                               needed=("libintlc.so.5",),
+                               glibc_ceiling=(2, 3, 4), comment=banner),
+            )
+        # PGI
+        banner = (self.comment_banner(),)
+        return (
+            LibraryProduct("libpgc.so", size=450_000,
+                           glibc_ceiling=(2, 3), comment=banner,
+                           exports=("__pgio_init", "pgf90_stop")),
+            LibraryProduct("libpgf90.so", size=1_900_000,
+                           needed=("libpgc.so",),
+                           glibc_ceiling=(2, 3), comment=banner,
+                           exports=("pgf90_init", "pgf90_io_write")),
+            LibraryProduct("libpgf90rtl.so", size=260_000,
+                           needed=("libpgf90.so",),
+                           glibc_ceiling=(2, 3), comment=banner),
+            LibraryProduct("libpgftnrtl.so", size=310_000,
+                           needed=("libpgc.so",),
+                           glibc_ceiling=(2, 3), comment=banner),
+            LibraryProduct("libstd.so", size=700_000,
+                           needed=("libpgc.so",),
+                           glibc_ceiling=(2, 3), comment=banner),
+        )
+
+    # -- identification ---------------------------------------------------------
+
+    def comment_banner(self) -> str:
+        """The .comment string this compiler stamps into binaries."""
+        if self.family is CompilerFamily.GNU:
+            return f"GCC: (GNU) {self.version}"
+        if self.family is CompilerFamily.INTEL:
+            return f"Intel(R) Compiler Version {self.version}"
+        return f"PGI Compiler Version {self.version}"
+
+    def driver_names(self, language: Language) -> tuple[str, ...]:
+        """Command names of this compiler's drivers for *language*."""
+        if self.family is CompilerFamily.GNU:
+            return {Language.C: ("gcc", "cc"), Language.CXX: ("g++",),
+                    Language.FORTRAN: (("g77",) if self.version_tuple < (4, 0)
+                                       else ("gfortran",))}[language]
+        if self.family is CompilerFamily.INTEL:
+            return {Language.C: ("icc",), Language.CXX: ("icpc",),
+                    Language.FORTRAN: ("ifort",)}[language]
+        return {Language.C: ("pgcc",), Language.CXX: ("pgCC",),
+                Language.FORTRAN: ("pgf90", "pgf77")}[language]
+
+
+@functools.lru_cache(maxsize=None)
+def gnu(version: str) -> Compiler:
+    """The GNU compiler release *version* (C, C++ and Fortran)."""
+    return Compiler(CompilerFamily.GNU, version)
+
+
+@functools.lru_cache(maxsize=None)
+def intel(version: str) -> Compiler:
+    """The Intel compiler release *version*."""
+    return Compiler(CompilerFamily.INTEL, version)
+
+
+@functools.lru_cache(maxsize=None)
+def pgi(version: str) -> Compiler:
+    """The PGI compiler release *version*."""
+    return Compiler(CompilerFamily.PGI, version)

@@ -1,0 +1,98 @@
+"""Compiler installations at a site.
+
+A :class:`CompilerInstall` places a compiler's driver executables and
+runtime libraries into a site's filesystem.  The location matters for the
+paper's migration behaviour:
+
+* the GNU system compiler installs its runtimes into ``/usr/lib64`` --
+  always visible to the dynamic loader;
+* Intel and PGI live under vendor prefixes (``/opt/intel-11.1/lib``) that
+  are only reachable when the matching environment is loaded -- which is
+  exactly why binaries built with vendor compilers fail with *missing
+  shared libraries* at sites where that vendor stack is absent or a
+  different one is selected.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import posixpath
+
+from repro.elf.constants import ElfClass, ElfData, ElfMachine, ElfType
+from repro.elf.writer import BinarySpec, write_elf
+from repro.sysmodel.machine import Machine
+from repro.toolchain.compilers import Compiler, CompilerFamily, Language
+from repro.toolchain.libc import GlibcRelease, glibc_symbol
+
+
+def _driver_image(machine_kind: ElfMachine, elf_class: ElfClass,
+                  data: ElfData, libc: GlibcRelease, banner: str) -> bytes:
+    """A small ELF executable standing in for a compiler driver binary."""
+    spec = BinarySpec(
+        machine=machine_kind, elf_class=elf_class, data=data,
+        etype=ElfType.EXEC, needed=("libc.so.6",),
+        version_requirements={
+            "libc.so.6": (glibc_symbol(libc.highest_at_most((2, 3, 4))),)},
+        comment=(banner,), payload_size=120_000)
+    return write_elf(spec)
+
+
+@dataclasses.dataclass(frozen=True)
+class CompilerInstall:
+    """One compiler installed at a site."""
+
+    compiler: Compiler
+    #: Installation prefix ("/usr" for the system GNU compiler).
+    prefix: str
+
+    @property
+    def bindir(self) -> str:
+        return posixpath.join(self.prefix, "bin")
+
+    @property
+    def libdir(self) -> str:
+        if self.compiler.family is CompilerFamily.PGI:
+            # PGI ships its shared runtimes in "libso".
+            return posixpath.join(self.prefix, "libso")
+        return posixpath.join(
+            self.prefix, "lib64" if self.prefix == "/usr" else "lib")
+
+    @property
+    def on_default_loader_path(self) -> bool:
+        """True when the runtimes land in a trusted loader directory."""
+        return self.libdir in ("/lib", "/lib64", "/usr/lib", "/usr/lib64")
+
+    def driver_path(self, language: Language) -> str:
+        """Path of the primary driver for *language*."""
+        return posixpath.join(
+            self.bindir, self.compiler.driver_names(language)[0])
+
+    def install(self, machine: Machine, libc: GlibcRelease,
+                machine_kind: ElfMachine = ElfMachine.X86_64,
+                elf_class: ElfClass = ElfClass.ELF64,
+                data: ElfData = ElfData.LSB) -> None:
+        """Write drivers and runtime libraries into the machine's fs."""
+        fs = machine.fs
+        for language in self.compiler.languages:
+            for driver in self.compiler.driver_names(language):
+                image = _driver_image(machine_kind, elf_class, data, libc,
+                                      self.compiler.comment_banner())
+                fs.write(posixpath.join(self.bindir, driver), image,
+                         mode=0o755)
+        for product in self.compiler.products():
+            product.install(fs, self.libdir, libc,
+                            machine_kind, elf_class, data)
+
+    @staticmethod
+    def system_gnu(compiler: Compiler) -> "CompilerInstall":
+        """The distro-provided GNU compiler (prefix ``/usr``)."""
+        if compiler.family is not CompilerFamily.GNU:
+            raise ValueError("system compiler must be GNU")
+        return CompilerInstall(compiler=compiler, prefix="/usr")
+
+    @staticmethod
+    def vendor(compiler: Compiler) -> "CompilerInstall":
+        """A vendor compiler under ``/opt/<family>-<version>``."""
+        return CompilerInstall(
+            compiler=compiler,
+            prefix=f"/opt/{compiler.family.value}-{compiler.version}")

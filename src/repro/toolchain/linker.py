@@ -1,0 +1,174 @@
+"""The link step.
+
+:func:`link_program` reproduces what ``mpicc``/``mpif90`` + the system
+linker decide when an application is built: the ``DT_NEEDED`` list (MPI
+libraries first, then compiler runtime, then pthread/libc), the GNU symbol
+versions referenced from each library, and the ``.comment`` banner.
+
+The *referenced* GLIBC version is the newest symbol version available in
+the build-time C library, capped by the application's own feature level
+(``glibc_ceiling``): building on a glibc-2.12 site links a program that
+demands ``GLIBC_2.7`` if it uses 2.7-era interfaces, while building the
+same source on a glibc-2.3.4 site links a program satisfied everywhere.
+This is the mechanism behind the paper's C-library determinant
+(Section III.C).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from repro.elf.constants import ElfClass, ElfData, ElfMachine, ElfType
+from repro.elf.writer import BinarySpec, write_elf
+from repro.toolchain.compilers import Compiler, Language, RuntimeDep
+from repro.toolchain.libc import GlibcRelease, glibc_symbol
+
+
+@dataclasses.dataclass(frozen=True)
+class LinkInput:
+    """Everything the link step needs to know."""
+
+    name: str
+    language: Language
+    compiler: Compiler
+    libc: GlibcRelease
+    #: Newest glibc feature level the program's source uses.
+    glibc_ceiling: tuple[int, ...] = (2, 3, 4)
+    #: MPI libraries injected by the compiler wrapper (mpicc/mpif90).
+    mpi_deps: tuple[RuntimeDep, ...] = ()
+    #: Additional application-specific libraries (libz, libX11, ...).
+    extra_deps: tuple[RuntimeDep, ...] = ()
+    machine: ElfMachine = ElfMachine.X86_64
+    elf_class: ElfClass = ElfClass.ELF64
+    data: ElfData = ElfData.LSB
+    payload_size: int = 300_000
+    static: bool = False
+    #: Build identity (site/stack) folded into the image bytes, the way
+    #: embedded build paths and timestamps make real builds distinct.
+    build_tag: str = ""
+
+
+@dataclasses.dataclass(frozen=True)
+class LinkedObject:
+    """The product of a link: a real ELF image plus its provenance.
+
+    ``image`` is what lands on disk and is all FEAM ever sees; the
+    provenance fields are the ground truth the execution simulator (and
+    nothing else) may consult.
+    """
+
+    image: bytes
+    name: str
+    language: Language
+    compiler: Compiler
+    libc_version: tuple[int, ...]
+    required_glibc: tuple[int, ...]
+    needed: tuple[str, ...]
+
+    @property
+    def size(self) -> int:
+        return len(self.image)
+
+
+def _app_symbols(inp: "LinkInput",
+                 version_requirements: dict,
+                 needed: list) -> tuple:
+    """The application's dynamic symbol table.
+
+    ``main`` is exported; the MPI API, the compiler runtime's I/O entry
+    points, and a couple of versioned libc symbols are imported -- what a
+    real ``nm -D`` of these binaries shows.  MPI symbol *names* are
+    identical across implementations (MPI standardises the API, not the
+    ABI), which is why Table I identifies implementations by library
+    names instead.
+    """
+    from repro.elf.structs import DynamicSymbol
+    from repro.toolchain.compilers import CompilerFamily
+
+    symbols = [DynamicSymbol("main", defined=True)]
+    if inp.mpi_deps:
+        if inp.language is Language.FORTRAN:
+            symbols += [DynamicSymbol(n, False) for n in
+                        ("mpi_init_", "mpi_comm_rank_", "mpi_comm_size_",
+                         "mpi_finalize_")]
+        else:
+            symbols += [DynamicSymbol(n, False) for n in
+                        ("MPI_Init", "MPI_Comm_rank", "MPI_Comm_size",
+                         "MPI_Finalize")]
+    family = inp.compiler.family
+    if inp.language is Language.FORTRAN:
+        runtime_imports = {
+            CompilerFamily.GNU: ("_gfortran_st_write",)
+            if inp.compiler.version_tuple >= (4, 0) else ("s_wsfe",),
+            CompilerFamily.INTEL: ("for_write_seq_lis",),
+            CompilerFamily.PGI: ("pgf90_init",),
+        }[family]
+        symbols += [DynamicSymbol(n, False) for n in runtime_imports]
+    if inp.language is Language.CXX:
+        symbols.append(DynamicSymbol("_ZNSt8ios_base4InitC1Ev", False))
+    glibc_versions = version_requirements.get("libc.so.6", ())
+    if glibc_versions:
+        symbols.append(DynamicSymbol("printf", False, glibc_versions[0]))
+        symbols.append(DynamicSymbol("memcpy", False, glibc_versions[-1]))
+    return tuple(symbols)
+
+
+def link_program(inp: LinkInput) -> LinkedObject:
+    """Run the simulated link step and return the linked object."""
+    if not inp.compiler.supports(inp.language):
+        raise ValueError(
+            f"{inp.compiler} cannot compile {inp.language.value}")
+    if inp.static:
+        spec = BinarySpec(
+            machine=inp.machine, elf_class=inp.elf_class, data=inp.data,
+            etype=ElfType.EXEC, statically_linked=True,
+            comment=(inp.compiler.comment_banner(),),
+            payload_size=inp.payload_size,
+            payload_seed=f"{inp.name}|{inp.build_tag}",
+        )
+        return LinkedObject(
+            image=write_elf(spec), name=inp.name, language=inp.language,
+            compiler=inp.compiler, libc_version=inp.libc.version,
+            required_glibc=(), needed=(),
+        )
+
+    required = inp.libc.highest_at_most(inp.glibc_ceiling)
+    deps: list[RuntimeDep] = []
+    deps.extend(inp.mpi_deps)
+    deps.extend(inp.extra_deps)
+    deps.extend(inp.compiler.runtime_deps(inp.language))
+    deps.append(RuntimeDep("libpthread.so.0", (glibc_symbol((2, 2, 5)),)))
+
+    needed: list[str] = []
+    version_requirements: dict[str, tuple[str, ...]] = {}
+    for dep in deps:
+        if dep.soname not in needed:
+            needed.append(dep.soname)
+        if dep.versions:
+            existing = version_requirements.get(dep.soname, ())
+            merged = tuple(dict.fromkeys(existing + tuple(dep.versions)))
+            version_requirements[dep.soname] = merged
+    # libm symbol references carry GLIBC versions too (base level).
+    if "libm.so.6" in needed and "libm.so.6" not in version_requirements:
+        version_requirements["libm.so.6"] = (glibc_symbol((2, 2, 5)),)
+    needed.append("libc.so.6")
+    version_requirements["libc.so.6"] = (
+        glibc_symbol((2, 2, 5)), glibc_symbol(required))
+
+    symbols = _app_symbols(inp, version_requirements, needed)
+    spec = BinarySpec(
+        machine=inp.machine, elf_class=inp.elf_class, data=inp.data,
+        etype=ElfType.EXEC,
+        needed=tuple(needed),
+        version_requirements=version_requirements,
+        comment=(inp.compiler.comment_banner(),),
+        payload_size=inp.payload_size,
+        payload_seed=f"{inp.name}|{inp.build_tag}",
+        symbols=symbols,
+    )
+    return LinkedObject(
+        image=write_elf(spec), name=inp.name, language=inp.language,
+        compiler=inp.compiler, libc_version=inp.libc.version,
+        required_glibc=required, needed=tuple(needed),
+    )

@@ -1,0 +1,33 @@
+"""Unix tool emulation.
+
+FEAM is implemented with "various standard Unix-like operating system
+utilities" (paper Section V): ``objdump -p``, ``readelf -p .comment``,
+``ldd -v``, ``uname -p``, ``locate``, ``find``, and running the C library
+binary.  This package emulates those tools over a simulated machine's
+filesystem -- parsing the genuine ELF bytes stored there -- and models
+their real-world failure modes:
+
+* tools can be absent at a site (:class:`ToolUnavailable`), forcing FEAM's
+  documented fallbacks (objdump -> ldd -> filesystem search);
+* ``ldd`` sometimes fails to recognise a dynamically linked binary
+  (Section V.A), emulated for PGI-produced binaries.
+
+FEAM's components (:mod:`repro.core`) interact with sites exclusively
+through this layer.
+"""
+
+from repro.tools.toolbox import (
+    LddEntry,
+    LddResult,
+    ObjdumpInfo,
+    Toolbox,
+    ToolUnavailable,
+)
+
+__all__ = [
+    "LddEntry",
+    "LddResult",
+    "ObjdumpInfo",
+    "Toolbox",
+    "ToolUnavailable",
+]

@@ -1,0 +1,474 @@
+"""The toolbox: emulated Unix utilities over a simulated machine.
+
+Every query parses real bytes from the machine's virtual filesystem; there
+is no side channel to the simulation's construction-time metadata, so FEAM
+can only know what the real tool would have printed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import posixpath
+from typing import Optional
+
+from repro.elf.highlevel import BinaryInfo, describe_elf, describe_parsed
+from repro.elf.reader import ElfError
+from repro.sysmodel.env import Environment
+from repro.sysmodel.fs import FsError
+from repro.sysmodel.library import parse_library_name
+from repro.sysmodel.loader import ResolutionReport
+from repro.sysmodel.machine import Machine
+from repro.toolchain.libc import parse_banner
+
+
+class ToolUnavailable(RuntimeError):
+    """The requested utility is not installed at this site."""
+
+
+#: Common library locations searched by FEAM's ``find`` fallback
+#: (Section V.A: "common library locations as well as locations set in
+#: the LD_LIBRARY_PATH environment variable").
+COMMON_LIB_DIRS = (
+    "/lib", "/lib64", "/usr/lib", "/usr/lib64",
+    "/usr/local/lib", "/usr/local/lib64", "/opt",
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class ObjdumpInfo:
+    """Parsed ``objdump -p`` output."""
+
+    file_format: str  # e.g. "elf64-x86-64"
+    machine: str
+    bits: int
+    is_dynamic: bool
+    needed: tuple[str, ...]
+    soname: Optional[str]
+    rpath: Optional[str]
+    runpath: Optional[str]
+    #: (library file, version name) pairs from "Version References".
+    version_references: tuple[tuple[str, str], ...]
+    #: version names from "Version Definitions".
+    version_definitions: tuple[str, ...]
+
+    def render(self) -> str:
+        """A realistic rendering of the tool output."""
+        lines = [f"file format {self.file_format}",
+                 f"architecture: {self.machine}", ""]
+        if self.is_dynamic:
+            lines.append("Dynamic Section:")
+            for soname in self.needed:
+                lines.append(f"  NEEDED               {soname}")
+            if self.soname:
+                lines.append(f"  SONAME               {self.soname}")
+            if self.rpath:
+                lines.append(f"  RPATH                {self.rpath}")
+            if self.runpath:
+                lines.append(f"  RUNPATH              {self.runpath}")
+        if self.version_definitions:
+            lines.append("")
+            lines.append("Version definitions:")
+            for i, name in enumerate(self.version_definitions, start=1):
+                lines.append(f"{i} 0x00 {name}")
+        if self.version_references:
+            lines.append("")
+            lines.append("Version References:")
+            current = None
+            for filename, version in self.version_references:
+                if filename != current:
+                    lines.append(f"  required from {filename}:")
+                    current = filename
+                lines.append(f"    0x00 00 02 {version}")
+        return "\n".join(lines) + "\n"
+
+
+@dataclasses.dataclass(frozen=True)
+class LddEntry:
+    """One line of ldd output."""
+
+    soname: str
+    path: Optional[str]  # None renders as "not found"
+
+    def render(self) -> str:
+        target = self.path if self.path else "not found"
+        return f"\t{self.soname} => {target}"
+
+
+@dataclasses.dataclass(frozen=True)
+class LddResult:
+    """Parsed ``ldd -v`` output."""
+
+    recognised: bool  # False: "not a dynamic executable"
+    entries: tuple[LddEntry, ...] = ()
+    #: (requesting object, version, from-library, resolved-path-or-None)
+    #: -- real ``ldd -v`` groups its "Version information:" section by the
+    #: object carrying the reference, starting with the binary itself.
+    version_info: tuple[tuple[str, str, str, Optional[str]], ...] = ()
+    #: Unsatisfied version references reported by the loader (messages).
+    version_errors: tuple[str, ...] = ()
+    #: The same, structured: (library soname, version name) pairs.
+    unsatisfied_versions: tuple[tuple[str, str], ...] = ()
+
+    @property
+    def missing(self) -> tuple[str, ...]:
+        return tuple(e.soname for e in self.entries if e.path is None)
+
+    def versions_required_by(self, requester: str,
+                             ) -> tuple[tuple[str, str], ...]:
+        """(library, version) references carried by one object."""
+        return tuple((lib, version)
+                     for req, version, lib, _path in self.version_info
+                     if req == requester)
+
+    def render(self) -> str:
+        if not self.recognised:
+            return "\tnot a dynamic executable\n"
+        lines = [e.render() for e in self.entries]
+        if self.version_info:
+            lines.append("\n\tVersion information:")
+            current = None
+            for requester, version, lib, path in self.version_info:
+                if requester != current:
+                    lines.append(f"\t{requester}:")
+                    current = requester
+                lines.append(f"\t\t{lib} ({version}) => {path or 'not found'}")
+        return "\n".join(lines) + "\n"
+
+
+class Toolbox:
+    """Emulated utilities bound to one machine.
+
+    *available* lists installed utilities; omitted utilities raise
+    :class:`ToolUnavailable` so FEAM's fallback paths engage.
+    """
+
+    ALL_TOOLS = frozenset({
+        "objdump", "readelf", "ldd", "uname", "locate", "find", "cat",
+        "ldconfig", "nm"})
+
+    def __init__(self, machine: Machine,
+                 available: Optional[frozenset[str]] = None) -> None:
+        self.machine = machine
+        self.available = (frozenset(available) if available is not None
+                          else self.ALL_TOOLS)
+
+    def _require(self, tool: str) -> None:
+        if tool not in self.available:
+            raise ToolUnavailable(f"{tool}: command not found")
+
+    def _read_elf_info(self, path: str) -> BinaryInfo:
+        return describe_parsed(self.machine.read_elf(path))
+
+    # -- objdump -p -----------------------------------------------------------
+
+    def objdump_p(self, path: str) -> ObjdumpInfo:
+        """``objdump -p <path>``: file-format specific information."""
+        self._require("objdump")
+        try:
+            info = self._read_elf_info(path)
+        except (FsError, ElfError) as exc:
+            raise FsError(f"objdump: {path}: {exc}") from exc
+        version_refs = tuple(
+            (req.filename, v.name)
+            for req in info.version_requirements
+            for v in req.versions)
+        return ObjdumpInfo(
+            file_format=f"elf{info.bits}-{info.isa_name}",
+            machine=info.isa_name,
+            bits=info.bits,
+            is_dynamic=info.is_dynamic,
+            needed=info.needed,
+            soname=info.soname,
+            rpath=info.rpath,
+            runpath=info.runpath,
+            version_references=version_refs,
+            version_definitions=info.version_definitions,
+        )
+
+    # -- readelf -p .comment -----------------------------------------------------
+
+    def readelf_comment(self, path: str) -> tuple[str, ...]:
+        """``readelf -p .comment <path>``: toolchain banner strings."""
+        self._require("readelf")
+        try:
+            info = self._read_elf_info(path)
+        except (FsError, ElfError) as exc:
+            raise FsError(f"readelf: {path}: {exc}") from exc
+        return info.comment
+
+    # -- ldd -v ----------------------------------------------------------------------
+
+    def _ldd_recognises(self, info: BinaryInfo) -> bool:
+        """The paper's Section V.A quirk: ldd does not recognise some
+        binaries as dynamically linked (emulated for PGI toolchains)."""
+        return not any("PGI" in c for c in info.comment)
+
+    def ldd(self, path: str, env: Optional[Environment] = None) -> LddResult:
+        """``ldd -v <path>`` under *env* (defaults to the login env)."""
+        self._require("ldd")
+        effective_env = env if env is not None else self.machine.env
+        data = self.machine.fs.read(self.machine.fs.realpath(path))
+        info = describe_elf(data)
+        if not info.is_dynamic:
+            return LddResult(recognised=False)
+        if not self._ldd_recognises(info):
+            return LddResult(recognised=False)
+        report: ResolutionReport = self.machine.loader.resolve(
+            data, effective_env, origin=path)
+        entries = []
+        seen: set[str] = set()
+        for e in report.entries:
+            if e.soname in seen:
+                continue
+            seen.add(e.soname)
+            entries.append(LddEntry(soname=e.soname, path=e.path))
+        version_info = []
+        for loaded_path, elf in report.loaded.items():
+            for req in elf.version_requirements:
+                resolved = next(
+                    (e.path for e in report.entries
+                     if e.soname == req.filename), None)
+                for v in req.versions:
+                    version_info.append(
+                        (loaded_path, v.name, req.filename, resolved))
+        version_errors = tuple(
+            ve.message() for ve in report.version_errors)
+        unsatisfied = tuple(dict.fromkeys(
+            (ve.library, ve.version) for ve in report.version_errors))
+        return LddResult(
+            recognised=True,
+            entries=tuple(entries),
+            version_info=tuple(version_info),
+            version_errors=version_errors,
+            unsatisfied_versions=unsatisfied,
+        )
+
+    def ldd_r(self, path: str,
+              env: Optional[Environment] = None) -> tuple["LddResult", list]:
+        """``ldd -r``: relocation (symbol-level) checking on top of ldd.
+
+        Returns ``(ldd result, unsatisfied imported symbols)``.
+        """
+        result = self.ldd(path, env)
+        if not result.recognised:
+            return result, []
+        from repro.sysmodel.loader import undefined_symbols
+        effective_env = env if env is not None else self.machine.env
+        data = self.machine.fs.read(self.machine.fs.realpath(path))
+        report = self.machine.loader.resolve(data, effective_env,
+                                             origin=path)
+        return result, undefined_symbols(report, origin=path)
+
+    # -- uname ------------------------------------------------------------------------
+
+    def uname_p(self) -> str:
+        """``uname -p``."""
+        self._require("uname")
+        return self.machine.uname_processor()
+
+    # -- file reading (cat of /proc and /etc files) -------------------------------------
+
+    def cat(self, path: str) -> str:
+        """Read a text file (``cat``)."""
+        self._require("cat")
+        return self.machine.fs.read_text(path)
+
+    def file_exists(self, path: str) -> bool:
+        """Shell ``test -e``."""
+        return self.machine.fs.exists(path)
+
+    def list_glob(self, directory: str, suffix: str = "") -> list[str]:
+        """Shell globbing of ``directory/*suffix``."""
+        if not self.machine.fs.is_dir(directory):
+            return []
+        return [posixpath.join(directory, name)
+                for name in self.machine.fs.listdir(directory)
+                if name.endswith(suffix)]
+
+    # -- locate / find -----------------------------------------------------------------
+
+    def locate(self, name: str) -> list[str]:
+        """``locate <name>``: every path whose basename matches."""
+        self._require("locate")
+        return sorted(self.machine.fs.find_files(
+            "/", name_filter=lambda fname: fname == name))
+
+    def find_in_dirs(self, name: str, directories: list[str]) -> list[str]:
+        """``find <dirs> -name <name>`` over specific directories."""
+        self._require("find")
+        hits = []
+        for directory in directories:
+            hits.extend(self.machine.fs.find_files(
+                directory, name_filter=lambda fname: fname == name))
+        return sorted(set(hits))
+
+    def search_library(self, soname: str,
+                       env: Optional[Environment] = None) -> list[str]:
+        """FEAM's library search: common locations + LD_LIBRARY_PATH.
+
+        Prefers ``locate`` and falls back to ``find`` (Section V.A).
+        """
+        try:
+            hits = self.locate(soname)
+            if hits:
+                return hits
+        except ToolUnavailable:
+            pass
+        effective_env = env if env is not None else self.machine.env
+        dirs = list(COMMON_LIB_DIRS) + effective_env.ld_library_path
+        return self.find_in_dirs(soname, dirs)
+
+    def loader_visible_library(self, soname: str,
+                               env: Optional[Environment] = None,
+                               ) -> Optional[str]:
+        """Where the dynamic loader would find *soname* under *env*.
+
+        Unlike :meth:`search_library` (which hunts the whole filesystem to
+        *locate copies*), this checks only the loader's search order:
+        LD_LIBRARY_PATH, ``/etc/ld.so.conf`` directories, and the trusted
+        default directories.  Presence elsewhere (an unloaded ``/opt``
+        prefix) does not make a binary runnable, so readiness checks must
+        use this test.
+        """
+        from repro.sysmodel.loader import DEFAULT_TRUSTED_DIRS, read_ld_so_conf
+        effective_env = env if env is not None else self.machine.env
+        dirs = list(effective_env.ld_library_path)
+        dirs += read_ld_so_conf(self.machine.fs)
+        dirs += list(DEFAULT_TRUSTED_DIRS)
+        for directory in dirs:
+            candidate = posixpath.join(directory, soname)
+            if self.machine.fs.is_file(candidate):
+                return candidate
+        return None
+
+    def search_library_stem(self, stem: str,
+                            env: Optional[Environment] = None) -> list[str]:
+        """Find any version of ``lib<stem>`` (used for MPI stack discovery)."""
+        def matches(fname: str) -> bool:
+            parsed = parse_library_name(fname)
+            return parsed is not None and parsed.stem == stem
+
+        effective_env = env if env is not None else self.machine.env
+        dirs = list(COMMON_LIB_DIRS) + effective_env.ld_library_path
+        self._require("find")
+        hits = []
+        for directory in dirs:
+            hits.extend(self.machine.fs.find_files(
+                directory, name_filter=matches))
+        return sorted(set(hits))
+
+    # -- nm -D -------------------------------------------------------------------------
+
+    def nm_dynamic(self, path: str):
+        """``nm -D <path>``: the dynamic symbol table.
+
+        Returns a tuple of :class:`repro.elf.structs.DynamicSymbol`.
+        """
+        self._require("nm")
+        try:
+            elf = self.machine.read_elf(path)
+        except (FsError, ElfError) as exc:
+            raise FsError(f"nm: {path}: {exc}") from exc
+        return elf.symbols
+
+    def nm_render(self, path: str) -> str:
+        """``nm -D`` text output."""
+        symbols = self.nm_dynamic(path)
+        if not symbols:
+            return "nm: no symbols\n"
+        return "\n".join(s.render() for s in symbols) + "\n"
+
+    # -- ldconfig -----------------------------------------------------------------------
+
+    def ldconfig_p(self):
+        """``ldconfig -p``: the ld.so.cache index, or None when absent.
+
+        Returns a list of :class:`repro.sysmodel.ldconfig.CacheEntry`.
+        """
+        self._require("ldconfig")
+        from repro.sysmodel.ldconfig import read_cache
+        return read_cache(self.machine.fs)
+
+    def cache_lookup(self, soname: str) -> Optional[str]:
+        """Path of *soname* per the ld.so.cache, or None."""
+        try:
+            entries = self.ldconfig_p()
+        except ToolUnavailable:
+            return None
+        if not entries:
+            return None
+        for entry in entries:
+            if entry.soname == soname:
+                return entry.path
+        return None
+
+    # -- C library version ------------------------------------------------------------
+
+    def run_libc_binary(self, path: str) -> Optional[str]:
+        """Execute the C library binary and parse its banner.
+
+        Real glibc prints its version banner when ``/lib64/libc.so.6`` is
+        executed; the emulation recovers the banner the build embedded in
+        the image's ``.comment`` section.
+        """
+        fs = self.machine.fs
+        if not fs.is_file(path):
+            return None
+        try:
+            info = self._read_elf_info(path)
+        except (FsError, ElfError):
+            return None
+        for comment in info.comment:
+            version = parse_banner(comment)
+            if version is not None:
+                return comment
+        return None
+
+    def libc_version_via_api(self, path: str) -> Optional[str]:
+        """Fallback: ``gnu_get_libc_version()`` via the C library API.
+
+        Emulated by reading the newest GLIBC_* version definition from the
+        installed library's ELF image.
+        """
+        try:
+            info = self._read_elf_info(path)
+        except (FsError, ElfError):
+            return None
+        def numeric(name: str) -> Optional[tuple[int, ...]]:
+            parts = name[len("GLIBC_"):].split(".")
+            try:
+                return tuple(int(p) for p in parts)
+            except ValueError:
+                # e.g. GLIBC_PRIVATE, GLIBC_ABI_DT_RELR on real glibc.
+                return None
+
+        glibc_defs = [(numeric(v), v) for v in info.version_definitions
+                      if v.startswith("GLIBC_")]
+        glibc_defs = [(key, v) for key, v in glibc_defs if key is not None]
+        if not glibc_defs:
+            return None
+        return max(glibc_defs)[1][len("GLIBC_"):]
+
+    # -- wrapper inspection ---------------------------------------------------------------
+
+    def wrapper_compiler(self, wrapper_path: str) -> Optional[str]:
+        """Parse an mpicc-style wrapper script for its compiler driver."""
+        fs = self.machine.fs
+        if not fs.is_file(wrapper_path):
+            return None
+        text = fs.read(wrapper_path)
+        if text[:4] == b"\x7fELF":
+            return None
+        for line in text.decode("utf-8", errors="replace").splitlines():
+            line = line.strip()
+            if line.startswith("CC="):
+                return line[len("CC="):].strip().strip('"')
+        return None
+
+    def compiler_banner(self, driver_path: str) -> Optional[str]:
+        """``<driver> -V``: the compiler's identification banner."""
+        try:
+            info = self._read_elf_info(driver_path)
+        except (FsError, ElfError):
+            return None
+        return info.comment[0] if info.comment else None

@@ -1,0 +1,5 @@
+"""Shared utilities: stable hashing and deterministic random draws."""
+
+from repro.util.hashing import stable_hash, stable_uniform
+
+__all__ = ["stable_hash", "stable_uniform"]

@@ -1,0 +1,44 @@
+"""Stable hashing for deterministic simulation draws.
+
+Python's built-in ``hash`` is salted per process, so every stochastic
+element of the simulation (system errors, ABI-mismatch outcomes,
+misconfigured stacks) instead derives from SHA-256 over a key tuple.  The
+same (seed, key...) always produces the same draw, in any process, which
+makes the whole evaluation reproducible bit-for-bit and lets the paper's
+"five execution attempts spaced in time" behave consistently.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Union
+
+_Part = Union[str, int, float, bytes, bool, None]
+
+
+def _encode(part: _Part) -> bytes:
+    if isinstance(part, bytes):
+        return b"b:" + part
+    if isinstance(part, bool):
+        return b"o:" + (b"1" if part else b"0")
+    if isinstance(part, int):
+        return b"i:" + str(part).encode()
+    if isinstance(part, float):
+        return b"f:" + repr(part).encode()
+    if part is None:
+        return b"n:"
+    return b"s:" + str(part).encode("utf-8")
+
+
+def stable_hash(*parts: _Part) -> int:
+    """A 64-bit hash of the key tuple, stable across processes."""
+    h = hashlib.sha256()
+    for part in parts:
+        h.update(_encode(part))
+        h.update(b"\x1f")
+    return int.from_bytes(h.digest()[:8], "big")
+
+
+def stable_uniform(*parts: _Part) -> float:
+    """A deterministic draw in [0, 1) keyed by the tuple."""
+    return stable_hash(*parts) / 2.0 ** 64

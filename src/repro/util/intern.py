@@ -1,0 +1,43 @@
+"""Content-addressed byte interning.
+
+Source-phase bundles carry copies of multi-megabyte shared libraries, and
+most binaries built at a site share the same libraries.  Interning by
+SHA-256 makes every equal copy one Python ``bytes`` object, which keeps a
+full-corpus experiment (hundreds of bundles) within a few hundred MB.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+
+class BlobStore:
+    """A content-addressed store of immutable byte strings."""
+
+    def __init__(self) -> None:
+        self._blobs: dict[str, bytes] = {}
+
+    def intern(self, data: bytes) -> bytes:
+        """Return the canonical object for *data*."""
+        key = hashlib.sha256(data).hexdigest()
+        existing = self._blobs.get(key)
+        if existing is not None:
+            return existing
+        self._blobs[key] = data
+        return data
+
+    def __len__(self) -> int:
+        return len(self._blobs)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(len(b) for b in self._blobs.values())
+
+
+#: Process-wide store used by the BDC's copy gathering.
+GLOBAL_BLOBS = BlobStore()
+
+
+def intern_bytes(data: bytes) -> bytes:
+    """Intern *data* in the global store."""
+    return GLOBAL_BLOBS.intern(data)

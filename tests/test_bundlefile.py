@@ -1,0 +1,135 @@
+"""Bundle serialization round-trip and file-based two-phase workflow."""
+
+import io
+import tarfile
+
+import pytest
+
+from repro.core import Feam
+from repro.core.bundlefile import (
+    BundleFormatError,
+    pack_bundle,
+    unpack_bundle,
+)
+from repro.toolchain.compilers import Language
+
+
+@pytest.fixture
+def donor(make_site):
+    return make_site("bf-donor")
+
+
+@pytest.fixture
+def bundle(donor):
+    stack = donor.find_stack("openmpi-1.4-intel")
+    app = donor.compile_mpi_program("bf-app", Language.FORTRAN, stack)
+    donor.machine.fs.write("/home/user/bf-app", app.image, mode=0o755)
+    return Feam().run_source_phase(donor, "/home/user/bf-app",
+                                   env=donor.env_with_stack(stack))
+
+
+class TestRoundTrip:
+    def test_lossless(self, bundle):
+        restored = unpack_bundle(pack_bundle(bundle))
+        assert restored.description == bundle.description
+        assert restored.created_at == bundle.created_at
+        assert len(restored.libraries) == len(bundle.libraries)
+        for original, back in zip(bundle.libraries, restored.libraries):
+            assert back == original
+        assert restored.guaranteed_environment == \
+            bundle.guaranteed_environment
+        assert restored.hello is not None
+        assert restored.hello.images == bundle.hello.images
+
+    def test_deterministic(self, bundle):
+        assert pack_bundle(bundle) == pack_bundle(bundle)
+
+    def test_archive_is_real_tar(self, bundle):
+        archive = pack_bundle(bundle)
+        with tarfile.open(fileobj=io.BytesIO(archive), mode="r:gz") as tar:
+            names = tar.getnames()
+        assert "MANIFEST.json" in names
+        assert any(name.startswith("libs/libmpi.so.0") for name in names)
+        assert "hello/c" in names
+
+    def test_archive_smaller_than_copies(self, bundle):
+        # gzip should compress the pseudo-random payloads at least a bit
+        # (headers/symbol tables compress; payload entropy dominates).
+        archive = pack_bundle(bundle)
+        assert len(archive) < bundle.copy_bytes * 1.1
+
+
+class TestFormatErrors:
+    def test_not_an_archive(self):
+        with pytest.raises(BundleFormatError):
+            unpack_bundle(b"this is not a tarball")
+
+    def test_missing_manifest(self):
+        buffer = io.BytesIO()
+        with tarfile.open(fileobj=buffer, mode="w:gz") as tar:
+            info = tarfile.TarInfo("random.txt")
+            info.size = 2
+            tar.addfile(info, io.BytesIO(b"hi"))
+        with pytest.raises(BundleFormatError, match="MANIFEST"):
+            unpack_bundle(buffer.getvalue())
+
+    def test_missing_library_member(self, bundle):
+        archive = pack_bundle(bundle)
+        # Rewrite the archive without one of the library members.
+        src = tarfile.open(fileobj=io.BytesIO(archive), mode="r:gz")
+        out = io.BytesIO()
+        with tarfile.open(fileobj=out, mode="w:gz") as dst:
+            for member in src.getmembers():
+                if member.name == "libs/libmpi.so.0":
+                    continue
+                dst.addfile(member, src.extractfile(member))
+        src.close()
+        with pytest.raises(BundleFormatError, match="libmpi.so.0"):
+            unpack_bundle(out.getvalue())
+
+    def test_bad_version(self, bundle):
+        import json
+        archive = pack_bundle(bundle)
+        src = tarfile.open(fileobj=io.BytesIO(archive), mode="r:gz")
+        manifest = json.loads(src.extractfile("MANIFEST.json").read())
+        manifest["format_version"] = 99
+        out = io.BytesIO()
+        with tarfile.open(fileobj=out, mode="w:gz") as dst:
+            blob = json.dumps(manifest).encode()
+            info = tarfile.TarInfo("MANIFEST.json")
+            info.size = len(blob)
+            dst.addfile(info, io.BytesIO(blob))
+        src.close()
+        with pytest.raises(BundleFormatError, match="version"):
+            unpack_bundle(out.getvalue())
+
+
+class TestFileBasedWorkflow:
+    def test_archive_written_by_source_phase(self, donor):
+        stack = donor.find_stack("openmpi-1.4-gnu")
+        app = donor.compile_mpi_program("wf-app", Language.C, stack)
+        donor.machine.fs.write("/home/user/wf-app", app.image, mode=0o755)
+        feam = Feam()
+        feam.run_source_phase(donor, "/home/user/wf-app",
+                              env=donor.env_with_stack(stack),
+                              write_archive=True)
+        assert donor.machine.fs.is_file(
+            "/home/user/feam/out/bundle-wf-app.tar.gz")
+
+    def test_target_phase_from_archive(self, donor, bundle, make_site):
+        from repro.mpi.implementations import open_mpi
+        from repro.sites.site import StackRequest
+        from repro.toolchain.compilers import CompilerFamily
+        target = make_site(
+            "bf-target", vendor_compilers=(),
+            stacks=(StackRequest(open_mpi("1.4"), CompilerFamily.GNU),))
+        # The user copies the archive across sites.
+        archive = pack_bundle(bundle)
+        target.machine.fs.write("/home/user/bundle.tar.gz", archive)
+        report = Feam().run_target_phase(
+            target, bundle_path="/home/user/bundle.tar.gz",
+            staging_tag="from-archive")
+        # Binary absent at the target: prediction from the bundle alone,
+        # with resolution staging the Intel runtime.
+        assert report.ready
+        assert report.resolution is not None and report.resolution.staged

@@ -1,0 +1,85 @@
+"""Login/compute-node divergence: a documented FEAM blind spot.
+
+FEAM's discovery runs on the login node; when compute-node images have
+drifted (a library was removed or never installed there), FEAM predicts
+ready and the job still dies.  The paper's model cannot see this -- its
+discovery has no access to compute-node filesystems -- and neither can
+ours, faithfully.
+"""
+
+import pytest
+
+from repro.core import Feam
+from repro.sysmodel.errors import FailureKind
+from repro.toolchain.compilers import Language
+
+
+@pytest.fixture
+def diverged(make_site):
+    """A site whose compute nodes lost the InfiniBand userspace library
+    and the zlib soname symlink (realistic image-drift casualties)."""
+    return make_site(
+        "diverged",
+        compute_node_missing=("/usr/lib64/libz.so.1",
+                              "/usr/lib64/libz.so.1.2.3"))
+
+
+def test_default_sites_share_one_machine(mini_site):
+    assert mini_site.compute_machine is mini_site.machine
+
+
+def test_diverged_site_has_two_machines(diverged):
+    assert diverged.compute_machine is not diverged.machine
+    assert diverged.machine.fs.is_file("/usr/lib64/libz.so.1.2.3")
+    assert not diverged.compute_machine.fs.lexists("/usr/lib64/libz.so.1")
+
+
+def test_compute_machine_otherwise_identical(diverged):
+    login, compute = diverged.machine.fs, diverged.compute_machine.fs
+    assert compute.is_file("/opt/openmpi-1.4-gnu/lib/libmpi.so.0.1.4")
+    assert login.read("/lib64/libc-2.5.so") == \
+        compute.read("/lib64/libc-2.5.so")
+
+
+def test_feam_false_ready_on_divergence(diverged, make_site):
+    """The blind spot, end to end: FEAM says ready, the job dies."""
+    donor = make_site("div-donor")
+    stack = donor.find_stack("openmpi-1.4-gnu")
+    from repro.toolchain.compilers import RuntimeDep
+    app = donor.compile_mpi_program(
+        "zapp", Language.C, stack,
+        extra_deps=(RuntimeDep("libz.so.1"),))
+    diverged.machine.fs.write("/home/user/zapp", app.image, mode=0o755)
+
+    report = Feam().run_target_phase(
+        diverged, binary_path="/home/user/zapp", staging_tag="div")
+    assert report.ready  # login-node view: libz is right there
+
+    target_stack = diverged.find_stack("openmpi-1.4-gnu")
+    result = diverged.run_with_retries(
+        "zapp", app.image, target_stack,
+        env=report.run_environment or
+        diverged.env_with_stack(target_stack))
+    assert not result.ok
+    assert result.failure.kind is FailureKind.MISSING_LIBRARY
+    assert "libz.so.1" in result.failure.detail
+
+
+def test_unaffected_binaries_still_run(diverged, make_site):
+    donor = make_site("div-donor2")
+    stack = donor.find_stack("openmpi-1.4-gnu")
+    app = donor.compile_mpi_program("plain", Language.C, stack)
+    target_stack = diverged.find_stack("openmpi-1.4-gnu")
+    result = diverged.run_with_retries(
+        "plain", app.image, target_stack,
+        env=diverged.env_with_stack(target_stack))
+    assert result.ok
+
+
+def test_compute_ldconfig_reflects_divergence(diverged):
+    from repro.sysmodel.ldconfig import read_cache
+    login_cache = {e.soname for e in read_cache(diverged.machine.fs)}
+    compute_cache = {e.soname
+                     for e in read_cache(diverged.compute_machine.fs)}
+    assert "libz.so.1" in login_cache
+    assert "libz.so.1" not in compute_cache

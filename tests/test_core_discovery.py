@@ -1,0 +1,164 @@
+"""Environment Discovery Component tests (paper Section V.B, Figure 4)."""
+
+import pytest
+
+from repro.core.discovery import (
+    EnvironmentDiscoveryComponent,
+    parse_stack_name,
+)
+from repro.tools.toolbox import Toolbox
+
+
+@pytest.fixture
+def site(make_site):
+    return make_site("edcsite")
+
+
+@pytest.fixture
+def edc(site):
+    return EnvironmentDiscoveryComponent(site.toolbox())
+
+
+class TestParseStackName:
+    @pytest.mark.parametrize("text,kind,version,compiler", [
+        ("openmpi/1.4-intel", "Open MPI", "1.4", "intel"),
+        ("openmpi-1.4.3-intel", "Open MPI", "1.4.3", "intel"),
+        ("mvapich2-1.7a2-gnu", "MVAPICH2", "1.7a2", "gnu"),
+        ("mpich2-1.3-pgi", "MPICH2", "1.3", "pgi"),
+        ("gcc/4.4.5", None, None, None),
+        ("random-junk", None, None, None),
+    ])
+    def test_parse(self, text, kind, version, compiler):
+        assert parse_stack_name(text) == (kind, version, compiler)
+
+
+class TestDiscover:
+    def test_figure4_fields(self, edc):
+        env = edc.discover()
+        assert env.isa == "x86_64"
+        assert env.os_type == "Linux"
+        assert "CentOS" in env.distro
+        assert env.libc_version == "2.5"
+        assert env.libc_via == "exec"
+        assert env.env_tool == "modules"
+        assert len(env.stacks) == 2
+
+    def test_stack_details(self, edc):
+        env = edc.discover()
+        intel = next(s for s in env.stacks
+                     if s.compiler_family == "intel")
+        assert intel.kind == "Open MPI"
+        assert intel.version == "1.4"
+        assert intel.prefix == "/opt/openmpi-1.4-intel"
+        assert intel.compiler_version == "11.1"
+        assert intel.via == "modules"
+
+    def test_stacks_of_kind(self, edc):
+        env = edc.discover()
+        assert len(env.stacks_of_kind("Open MPI")) == 2
+        assert env.stacks_of_kind("MPICH2") == []
+
+    def test_softenv_site(self, make_site):
+        site = make_site("softsite", module_system="softenv")
+        env = EnvironmentDiscoveryComponent(site.toolbox()).discover()
+        assert env.env_tool == "softenv"
+        assert len(env.stacks) == 2
+        assert all(s.via == "softenv" for s in env.stacks)
+
+    def test_path_search_fallback(self, make_site):
+        site = make_site("nomods", module_system="none")
+        env = EnvironmentDiscoveryComponent(site.toolbox()).discover()
+        assert env.env_tool is None
+        assert len(env.stacks) == 2
+        assert all(s.via == "path-search" for s in env.stacks)
+        labels = sorted(s.label for s in env.stacks)
+        assert labels == ["openmpi-1.4-gnu", "openmpi-1.4-intel"]
+
+    def test_libc_api_fallback(self, site):
+        # Break the banner: the EDC falls back to the C library API.
+        toolbox = site.toolbox()
+        original = toolbox.run_libc_binary
+        toolbox.run_libc_binary = lambda path: None
+        env = EnvironmentDiscoveryComponent(toolbox).discover()
+        assert env.libc_version == "2.5"
+        assert env.libc_via == "api"
+        toolbox.run_libc_binary = original
+
+    def test_libc_version_tuple(self, edc):
+        assert edc.discover().libc_version_tuple == (2, 5)
+
+
+class TestEnvForStack:
+    def test_via_modules(self, site, edc):
+        env_desc = edc.discover()
+        stack = next(s for s in env_desc.stacks
+                     if s.compiler_family == "intel")
+        env = edc.env_for_stack(stack)
+        assert "/opt/openmpi-1.4-intel/lib" in env.ld_library_path
+        assert "/opt/intel-11.1/lib" in env.ld_library_path
+
+    def test_via_path_heuristics(self, make_site):
+        site = make_site("nomods2", module_system="none")
+        edc = EnvironmentDiscoveryComponent(site.toolbox())
+        stack = next(s for s in edc.discover().stacks
+                     if s.compiler_family == "intel")
+        env = edc.env_for_stack(stack)
+        # Composed from the wrapper's CC= line and directory layout.
+        assert "/opt/openmpi-1.4-intel/lib" in env.ld_library_path
+        assert "/opt/intel-11.1/lib" in env.ld_library_path
+
+
+class TestMissingLibraries:
+    def _describe(self, site, stack_slug="openmpi-1.4-intel"):
+        from repro.core.description import BinaryDescriptionComponent
+        from repro.toolchain.compilers import Language
+        stack = site.find_stack(stack_slug)
+        app = site.compile_mpi_program("edc-app", Language.FORTRAN, stack)
+        site.machine.fs.write("/home/user/edc-app", app.image, mode=0o755)
+        bdc = BinaryDescriptionComponent(site.toolbox())
+        return bdc.describe("/home/user/edc-app")
+
+    def test_nothing_missing_with_stack_loaded(self, site, edc):
+        description = self._describe(site)
+        stack = site.find_stack("openmpi-1.4-intel")
+        missing, unsatisfied = edc.missing_libraries(
+            description, site.env_with_stack(stack),
+            binary_path="/home/user/edc-app")
+        assert missing == [] and unsatisfied == []
+
+    def test_missing_without_stack(self, site, edc):
+        description = self._describe(site)
+        missing, _ = edc.missing_libraries(
+            description, site.machine.env.copy(),
+            binary_path="/home/user/edc-app")
+        assert "libmpi.so.0" in missing
+        assert "libifcore.so.5" in missing
+
+    def test_description_only_mode(self, site, edc):
+        # Binary absent at the target (both-phases mode): the check works
+        # from the description alone.
+        description = self._describe(site)
+        stack = site.find_stack("openmpi-1.4-intel")
+        missing, _ = edc.missing_libraries(
+            description, site.env_with_stack(stack), binary_path=None)
+        assert missing == []
+        missing2, _ = edc.missing_libraries(
+            description, site.machine.env.copy(), binary_path=None)
+        assert "libmpi.so.0" in missing2
+
+    def test_unsatisfied_versions_detected(self, site, edc, make_site):
+        # A gcc-4.4 C++ binary demands GLIBCXX_3.4.13; this site's
+        # libstdc++ (gcc 4.1.2) tops out at 3.4.8.
+        from repro.toolchain.compilers import Language
+        donor = make_site("newgcc", system_gnu_version="4.4.5")
+        stack = donor.find_stack("openmpi-1.4-gnu")
+        app = donor.compile_mpi_program("cxxapp", Language.CXX, stack)
+        site.machine.fs.write("/home/user/cxxapp", app.image, mode=0o755)
+        from repro.core.description import BinaryDescriptionComponent
+        description = BinaryDescriptionComponent(
+            site.toolbox()).describe("/home/user/cxxapp")
+        target_stack = site.find_stack("openmpi-1.4-gnu")
+        _missing, unsatisfied = edc.missing_libraries(
+            description, site.env_with_stack(target_stack),
+            binary_path="/home/user/cxxapp")
+        assert ("libstdc++.so.6", "GLIBCXX_3.4.13") in unsatisfied

@@ -1,0 +1,105 @@
+"""Discovery fallback chains: the paper's "information is gathered in
+multiple ways ... in case some tools are not present or functioning"."""
+
+import pytest
+
+from repro.core import Feam, FeamConfig
+from repro.core.discovery import EnvironmentDiscoveryComponent
+from repro.mpi.stack import MpiStackInstall, MpiStackSpec, Interconnect
+from repro.mpi.implementations import mpich2, open_mpi
+from repro.toolchain.compilers import CompilerFamily, Language
+from repro.tools.toolbox import Toolbox
+
+
+class TestNonStandardPrefixDiscovery:
+    """A stack installed at a path that reveals nothing about it."""
+
+    @pytest.fixture
+    def site(self, make_site):
+        site = make_site("oddsite", module_system="none")
+        # Install an extra MPICH2 stack at a non-conventional prefix.
+        compiler = site.compiler_installs[
+            str(site.spec.compiler_for(CompilerFamily.GNU))]
+        spec = MpiStackSpec(mpich2("1.4"), compiler.compiler,
+                            Interconnect.INFINIBAND)
+        install = MpiStackInstall(spec=spec, compiler_install=compiler,
+                                  prefix="/opt/parallel")
+        machine_kind, elf_class, data = site._elf_target
+        install.install(site.machine, site.libc,
+                        machine_kind, elf_class, data)
+        site.stacks.append(install)
+        return site
+
+    def test_identified_from_library_dependencies(self, site):
+        """Table I's dependency-based identification kicks in when the
+        path name says nothing."""
+        edc = EnvironmentDiscoveryComponent(site.toolbox())
+        env = edc.discover()
+        odd = next((s for s in env.stacks if s.prefix == "/opt/parallel"),
+                   None)
+        assert odd is not None
+        assert odd.kind == "MPICH2"
+        assert odd.via == "path-search"
+        # Name-derived fields are unknown; the compiler still comes from
+        # the wrapper script.
+        assert odd.version is None
+        assert odd.compiler_version is not None
+
+    def test_feam_can_use_the_odd_stack(self, site, make_site):
+        from repro.sites.site import StackRequest
+        donor = make_site("odd-donor", stacks=(
+            StackRequest(mpich2("1.4"), CompilerFamily.GNU),))
+        stack = donor.find_stack("mpich2-1.4-gnu")
+        app = donor.compile_mpi_program("oddapp", Language.C, stack)
+        site.machine.fs.write("/home/user/oddapp", app.image, mode=0o755)
+        report = Feam().run_target_phase(
+            site, binary_path="/home/user/oddapp", staging_tag="odd")
+        assert report.ready
+        assert report.selected_stack_prefix == "/opt/parallel"
+
+
+class TestToolFallbackChains:
+    def test_target_phase_without_objdump(self, make_site, monkeypatch):
+        """The BDC falls back to ldd when objdump is absent; the whole
+        target phase still reaches a correct verdict."""
+        donor = make_site("fb-donor")
+        target = make_site("fb-target", missing_tools=("objdump",))
+        stack = donor.find_stack("openmpi-1.4-gnu")
+        app = donor.compile_mpi_program("fbapp", Language.C, stack)
+        target.machine.fs.write("/home/user/fbapp", app.image, mode=0o755)
+        report = Feam().run_target_phase(
+            target, binary_path="/home/user/fbapp", staging_tag="fb")
+        assert report.ready
+
+    def test_search_without_locate_or_find(self, make_site):
+        toolbox = Toolbox(
+            make_site("fb2").machine,
+            Toolbox.ALL_TOOLS - frozenset({"locate", "find"}))
+        from repro.tools.toolbox import ToolUnavailable
+        with pytest.raises(ToolUnavailable):
+            toolbox.search_library("libimf.so")
+        # loader-visible checks don't need either tool.
+        assert toolbox.loader_visible_library("libz.so.1") is not None
+
+    def test_discovery_without_uname(self, make_site):
+        site = make_site("fb3", missing_tools=("uname",))
+        env = EnvironmentDiscoveryComponent(site.toolbox()).discover()
+        assert env.isa == "x86_64"  # machine-report fallback
+
+    def test_source_phase_where_ldd_lies(self, make_site):
+        """PGI binaries defeat ldd (Section V.A); the BDC's search-based
+        locating still assembles a complete bundle."""
+        from repro.mpi.implementations import open_mpi as _open_mpi
+        from repro.sites.site import StackRequest
+        from repro.toolchain.compilers import pgi
+        donor = make_site(
+            "pgi-donor", vendor_compilers=(pgi("10.3"),),
+            stacks=(StackRequest(_open_mpi("1.4"), CompilerFamily.PGI),))
+        stack = donor.find_stack("openmpi-1.4-pgi")
+        app = donor.compile_mpi_program("pgiapp", Language.FORTRAN, stack)
+        donor.machine.fs.write("/home/user/pgiapp", app.image, mode=0o755)
+        bundle = Feam().run_source_phase(
+            donor, "/home/user/pgiapp", env=donor.env_with_stack(stack))
+        assert bundle.description.gathered_via == "objdump"
+        assert bundle.library("libpgf90.so") is not None
+        assert bundle.library("libpgf90.so").copied

@@ -1,0 +1,124 @@
+"""Effort model and migration-matrix rendering."""
+
+import pytest
+
+from repro.corpus.benchmarks import Suite
+from repro.evaluation.effort import (
+    EffortConstants,
+    estimate_effort,
+    render_effort,
+)
+from repro.evaluation.experiment import MigrationRecord
+
+
+def record(binary_id="b1", build="a", target="b", suite=Suite.NPB,
+           before=True, after=True, before_failure=None,
+           extended_ready=True, staged=0):
+    return MigrationRecord(
+        binary_id=binary_id, suite=suite, benchmark="nas.bt",
+        build_site=build, build_stack="openmpi-1.4-gnu",
+        target_site=target, naive_stack="openmpi-1.4-gnu",
+        basic_ready=True, extended_ready=extended_ready,
+        actual_before_ok=before, actual_before_failure=before_failure,
+        actual_after_ok=after, actual_after_failure=None,
+        feam_stack="openmpi-1.4-gnu", resolution_staged=staged)
+
+
+class TestEffortModel:
+    def test_clean_migration_costs(self):
+        constants = EffortConstants()
+        estimate = estimate_effort([record()], constants)
+        expected_manual = (constants.site_familiarisation
+                           + constants.stack_discovery
+                           + constants.submit_cycle) / 60
+        assert estimate.manual_hours == pytest.approx(expected_manual)
+        expected_feam = (constants.feam_write_config
+                         + constants.feam_source_phase
+                         + constants.feam_target_phase
+                         + constants.feam_read_report
+                         + constants.submit_cycle) / 60
+        assert estimate.feam_hours == pytest.approx(expected_feam)
+
+    def test_site_familiarisation_charged_once(self):
+        records = [record(binary_id=f"b{i}") for i in range(5)]
+        constants = EffortConstants()
+        estimate = estimate_effort(records, constants)
+        # One familiarisation, five discoveries + submissions.
+        expected = (constants.site_familiarisation
+                    + 5 * (constants.stack_discovery
+                           + constants.submit_cycle)) / 60
+        assert estimate.manual_hours == pytest.approx(expected)
+
+    def test_source_phase_charged_once_per_binary(self):
+        records = [record(binary_id="same", target=t)
+                   for t in ("b", "c", "d")]
+        constants = EffortConstants()
+        estimate = estimate_effort(records, constants)
+        feam_minutes = estimate.feam_hours * 60
+        # 3 configs + 1 source phase + 3 (target+report+submit).
+        assert feam_minutes == pytest.approx(
+            3 * constants.feam_write_config
+            + constants.feam_source_phase
+            + 3 * (constants.feam_target_phase
+                   + constants.feam_read_report
+                   + constants.submit_cycle))
+
+    def test_failures_cost_diagnosis(self):
+        base = estimate_effort([record()]).manual_hours
+        failed = estimate_effort(
+            [record(before=False, after=False, extended_ready=False,
+                    before_failure="c-library-version")]).manual_hours
+        assert failed > base
+
+    def test_manual_library_copies_charged(self):
+        resolved = estimate_effort(
+            [record(before=False, after=True,
+                    before_failure="missing-shared-library",
+                    staged=4)]).manual_hours
+        unresolved = estimate_effort(
+            [record(before=False, after=False, extended_ready=False,
+                    before_failure="missing-shared-library")]).manual_hours
+        assert resolved > unresolved
+
+    def test_not_ready_prediction_saves_the_submission(self):
+        ready = estimate_effort([record(extended_ready=True)]).feam_hours
+        not_ready = estimate_effort(
+            [record(extended_ready=False, before=False, after=False,
+                    before_failure="c-library-version")]).feam_hours
+        assert not_ready < ready
+
+    def test_feam_saves_effort_overall(self):
+        records = [record(binary_id=f"b{i}", target=t,
+                          before=(i % 2 == 0), after=(i % 2 == 0),
+                          before_failure=None if i % 2 == 0
+                          else "missing-shared-library",
+                          extended_ready=(i % 2 == 0))
+                   for i, t in enumerate("bcdbcdbcd")]
+        estimate = estimate_effort(records)
+        assert estimate.savings_factor > 2.0
+
+    def test_render(self):
+        text = render_effort([record(), record(suite=Suite.SPEC,
+                                               binary_id="b2")])
+        assert "USER-EFFORT MODEL" in text
+        assert "NAS" in text and "SPEC" in text
+        assert "x" in text  # the savings factor column
+
+
+class TestMatrixRendering:
+    def test_matrix_over_reduced_experiment(self):
+        from repro.corpus.builder import CorpusConfig
+        from repro.evaluation.experiment import (
+            ExperimentConfig,
+            run_experiment,
+        )
+        from repro.evaluation.tables import render_site_matrix
+        result = run_experiment(ExperimentConfig(
+            seed=9999,
+            corpus=CorpusConfig(seed=9999, target_counts={
+                Suite.NPB: 10, Suite.SPEC: 10})))
+        text = render_site_matrix(result)
+        assert "MIGRATION MATRIX" in text
+        for name in ("ranger", "forge", "blacklight", "india", "fir"):
+            assert name in text
+        assert "/" in text  # at least one successes/migrations cell

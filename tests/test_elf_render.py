@@ -1,0 +1,96 @@
+"""Text renderers for binutils-style output."""
+
+import pytest
+
+from repro.elf import BinarySpec, parse_elf, write_elf
+from repro.elf.constants import ElfType
+from repro.elf.render import (
+    render_objdump_private,
+    render_readelf_comment,
+    render_readelf_dynamic,
+    render_readelf_versions,
+)
+
+
+@pytest.fixture
+def binary_elf():
+    return parse_elf(write_elf(BinarySpec(
+        needed=("libmpi.so.0", "libc.so.6"),
+        rpath="/opt/app/lib",
+        version_requirements={"libc.so.6": ("GLIBC_2.2.5", "GLIBC_2.5")},
+        comment=("GCC: (GNU) 4.1.2", "Intel(R) Compiler Version 11.1"))))
+
+
+@pytest.fixture
+def library_elf():
+    return parse_elf(write_elf(BinarySpec(
+        etype=ElfType.DYN, soname="libdemo.so.2",
+        needed=("libc.so.6",),
+        version_definitions=("libdemo.so.2", "DEMO_2.0"))))
+
+
+class TestObjdump:
+    def test_binary(self, binary_elf):
+        text = render_objdump_private(binary_elf, "app")
+        assert "file format elf64-x86-64" in text
+        assert "  NEEDED               libmpi.so.0" in text
+        assert "  RPATH                /opt/app/lib" in text
+        assert "required from libc.so.6:" in text
+        assert "GLIBC_2.5" in text
+
+    def test_library(self, library_elf):
+        text = render_objdump_private(library_elf, "libdemo.so.2")
+        assert "  SONAME               libdemo.so.2" in text
+        assert "Version definitions:" in text
+        assert "DEMO_2.0" in text
+
+    def test_hashes_match_sysv(self, binary_elf):
+        # The rendered hashes are the real SysV elf_hash values.
+        text = render_objdump_private(binary_elf)
+        assert "0x0d696915" in text  # elf_hash("GLIBC_2.5")
+
+
+class TestReadelfDynamic:
+    def test_entries(self, binary_elf):
+        text = render_readelf_dynamic(binary_elf)
+        assert "Shared library: [libmpi.so.0]" in text
+        assert "Shared library: [libc.so.6]" in text
+        assert "Library rpath: [/opt/app/lib]" in text
+        assert "(NULL" in text
+
+    def test_soname(self, library_elf):
+        assert "Library soname: [libdemo.so.2]" in \
+            render_readelf_dynamic(library_elf)
+
+    def test_static(self):
+        elf = parse_elf(write_elf(BinarySpec(statically_linked=True)))
+        assert "no dynamic section" in render_readelf_dynamic(elf)
+
+
+class TestReadelfVersions:
+    def test_requirements(self, binary_elf):
+        text = render_readelf_versions(binary_elf)
+        assert "Version needs section contains 1 entries:" in text
+        assert "File: libc.so.6  Cnt: 2" in text
+        assert "Name: GLIBC_2.2.5" in text
+
+    def test_definitions(self, library_elf):
+        text = render_readelf_versions(library_elf)
+        assert "Version definitions section contains 2 entries:" in text
+        assert "Flags: BASE" in text
+        assert "Name: DEMO_2.0" in text
+
+    def test_none(self):
+        elf = parse_elf(write_elf(BinarySpec(statically_linked=True)))
+        assert "No version information" in render_readelf_versions(elf)
+
+
+class TestReadelfComment:
+    def test_strings(self, binary_elf):
+        text = render_readelf_comment(binary_elf)
+        assert "String dump of section '.comment':" in text
+        assert "GCC: (GNU) 4.1.2" in text
+        assert "Intel(R) Compiler Version 11.1" in text
+
+    def test_absent(self, library_elf):
+        assert "was not dumped" in render_readelf_comment(library_elf)

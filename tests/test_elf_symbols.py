@@ -1,0 +1,155 @@
+"""Dynamic symbol tables: writer/reader round-trip and tool integration."""
+
+import shutil
+import subprocess
+
+import pytest
+
+from repro.elf import BinarySpec, parse_elf, write_elf
+from repro.elf.constants import ElfClass, ElfData, ElfMachine, ElfType
+from repro.elf.structs import DynamicSymbol
+
+
+def _app_spec(**overrides):
+    defaults = dict(
+        needed=("libfoo.so.1", "libc.so.6"),
+        version_requirements={"libc.so.6": ("GLIBC_2.2.5", "GLIBC_2.3.4")},
+        symbols=(
+            DynamicSymbol("main", defined=True),
+            DynamicSymbol("foo_call", defined=False),
+            DynamicSymbol("printf", defined=False, version="GLIBC_2.2.5"),
+            DynamicSymbol("memcpy", defined=False, version="GLIBC_2.3.4"),
+        ))
+    defaults.update(overrides)
+    return BinarySpec(**defaults)
+
+
+class TestRoundTrip:
+    def test_symbols_roundtrip(self):
+        elf = parse_elf(write_elf(_app_spec()))
+        assert elf.symbols == _app_spec().symbols
+
+    def test_exports_and_imports_split(self):
+        elf = parse_elf(write_elf(_app_spec()))
+        assert [s.name for s in elf.exported_symbols] == ["main"]
+        assert [s.name for s in elf.imported_symbols] == [
+            "foo_call", "printf", "memcpy"]
+
+    def test_versioned_exports_in_library(self):
+        spec = BinarySpec(
+            etype=ElfType.DYN, soname="libv.so.2",
+            version_definitions=("libv.so.2", "V_2.0", "V_2.1"),
+            symbols=(DynamicSymbol("v_new", True, "V_2.1"),
+                     DynamicSymbol("v_old", True, "V_2.0")))
+        elf = parse_elf(write_elf(spec))
+        by_name = {s.name: s for s in elf.symbols}
+        assert by_name["v_new"].version == "V_2.1"
+        assert by_name["v_old"].version == "V_2.0"
+
+    def test_32bit_big_endian_symbols(self):
+        spec = _app_spec(machine=ElfMachine.PPC, elf_class=ElfClass.ELF32,
+                         data=ElfData.MSB)
+        elf = parse_elf(write_elf(spec))
+        assert elf.symbols == spec.symbols
+
+    def test_unknown_version_rejected(self):
+        spec = _app_spec(symbols=(
+            DynamicSymbol("x", False, "NOT_A_VERSION_1.0"),))
+        with pytest.raises(ValueError, match="NOT_A_VERSION_1.0"):
+            write_elf(spec)
+
+    def test_version_indices_unique_across_files(self):
+        # Two verneed files with overlapping version lists: each aux
+        # gets a distinct global index, and symbols resolve correctly.
+        spec = BinarySpec(
+            needed=("liba.so.1", "libb.so.1", "libc.so.6"),
+            version_requirements={
+                "liba.so.1": ("API_1.0",),
+                "libb.so.1": ("API_2.0",),
+                "libc.so.6": ("GLIBC_2.2.5",)},
+            symbols=(DynamicSymbol("a_fn", False, "API_1.0"),
+                     DynamicSymbol("b_fn", False, "API_2.0"),
+                     DynamicSymbol("printf", False, "GLIBC_2.2.5")))
+        elf = parse_elf(write_elf(spec))
+        by_name = {s.name: s for s in elf.symbols}
+        assert by_name["a_fn"].version == "API_1.0"
+        assert by_name["b_fn"].version == "API_2.0"
+        assert by_name["printf"].version == "GLIBC_2.2.5"
+
+    def test_no_symbols_section_when_empty(self):
+        elf = parse_elf(write_elf(BinarySpec(needed=("libc.so.6",))))
+        assert elf.symbols == ()
+        assert elf.section(".dynsym") is None
+
+
+@pytest.mark.skipif(shutil.which("nm") is None, reason="binutils not installed")
+class TestRealBinutils:
+    def test_real_nm_reads_our_symbols(self, tmp_path):
+        path = tmp_path / "app"
+        path.write_bytes(write_elf(_app_spec()))
+        out = subprocess.run(["nm", "-D", str(path)],
+                             capture_output=True, text=True).stdout
+        assert "U foo_call" in out
+        assert "printf@GLIBC_2.2.5" in out
+        assert "T main" in out
+
+    def test_real_readelf_versym(self, tmp_path):
+        path = tmp_path / "app"
+        path.write_bytes(write_elf(_app_spec()))
+        out = subprocess.run(["readelf", "-V", str(path)],
+                             capture_output=True, text=True).stdout
+        assert ".gnu.version" in out
+        assert "GLIBC_2.3.4" in out
+
+
+class TestRealBinaryParsing:
+    def test_parse_real_binary_symbols(self):
+        try:
+            with open("/bin/ls", "rb") as fh:
+                data = fh.read()
+        except OSError:
+            pytest.skip("no /bin/ls")
+        if data[:4] != b"\x7fELF":
+            pytest.skip("/bin/ls is not ELF")
+        elf = parse_elf(data)
+        imports = {s.name for s in elf.imported_symbols}
+        assert "malloc" in imports or "abort" in imports
+        versioned = [s for s in elf.imported_symbols
+                     if s.version and s.version.startswith("GLIBC_")]
+        assert versioned
+
+
+class TestToolboxNm:
+    def test_nm_on_simulated_binary(self, mini_site):
+        from repro.toolchain.compilers import Language
+        stack = mini_site.find_stack("openmpi-1.4-gnu")
+        app = mini_site.compile_mpi_program("nmapp", Language.C, stack)
+        mini_site.machine.fs.write("/home/user/nmapp", app.image, mode=0o755)
+        toolbox = mini_site.toolbox()
+        symbols = toolbox.nm_dynamic("/home/user/nmapp")
+        names = {s.name for s in symbols}
+        assert "MPI_Init" in names and "main" in names
+        text = toolbox.nm_render("/home/user/nmapp")
+        assert "U MPI_Init" in text
+        assert "T main" in text
+
+    def test_nm_on_installed_library(self, mini_site):
+        toolbox = mini_site.toolbox()
+        symbols = toolbox.nm_dynamic(
+            "/opt/openmpi-1.4-gnu/lib/libmpi.so.0")
+        exports = {s.name for s in symbols if s.defined}
+        assert "MPI_Init" in exports
+
+    def test_libc_exports_versioned(self, mini_site):
+        toolbox = mini_site.toolbox()
+        symbols = toolbox.nm_dynamic("/lib64/libc.so.6")
+        printf = next(s for s in symbols if s.name == "printf")
+        assert printf.defined
+        assert printf.version == "GLIBC_2.0"
+
+    def test_nm_unavailable(self, mini_site):
+        from repro.tools.toolbox import Toolbox, ToolUnavailable
+        toolbox = Toolbox(mini_site.machine,
+                          Toolbox.ALL_TOOLS - frozenset({"nm"}))
+        with pytest.raises(ToolUnavailable):
+            toolbox.nm_dynamic("/lib64/libc.so.6")

@@ -1,0 +1,64 @@
+"""Every example script runs to completion.
+
+``reproduce_paper.py`` is exercised by the experiment tests already (it
+is a rendering of the same run), so only its imports are checked here.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = os.path.join(os.path.dirname(os.path.dirname(__file__)),
+                        "examples")
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "survey_sites.py",
+    "resolve_missing_libraries.py",
+    "custom_site.py",
+    "inspect_with_tools.py",
+    "describe_host_binary.py",
+    "limitations.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs(script):
+    path = os.path.join(EXAMPLES, script)
+    result = subprocess.run(
+        [sys.executable, path], capture_output=True, text=True,
+        timeout=300)
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip()
+
+
+def test_quickstart_reaches_a_verdict():
+    result = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES, "quickstart.py")],
+        capture_output=True, text=True, timeout=300)
+    assert "prediction:" in result.stdout
+    assert ("actual execution at ranger" in result.stdout
+            or "not ready at ranger" in result.stdout)
+
+
+def test_survey_prints_matrix():
+    result = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES, "survey_sites.py")],
+        capture_output=True, text=True, timeout=300)
+    for site in ("ranger", "forge", "blacklight", "india", "fir"):
+        assert site in result.stdout
+
+
+def test_reproduce_paper_imports():
+    result = subprocess.run(
+        [sys.executable, "-c",
+         "import importlib.util, os;"
+         f"spec = importlib.util.spec_from_file_location('rp', "
+         f"r'{os.path.join(EXAMPLES, 'reproduce_paper.py')}');"
+         "module = importlib.util.module_from_spec(spec);"
+         "spec.loader.exec_module(module);"
+         "assert callable(module.main)"],
+        capture_output=True, text=True, timeout=60)
+    assert result.returncode == 0, result.stderr[-1000:]

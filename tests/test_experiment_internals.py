@@ -1,0 +1,88 @@
+"""Experiment-harness internals: naive selection, tagging, accounting."""
+
+import pytest
+
+from repro.corpus.benchmarks import Suite, benchmark
+from repro.corpus.builder import CompiledBinary
+from repro.evaluation.experiment import _naive_stack, _safe_tag
+from repro.mpi.stack import MpiStackSpec
+from repro.mpi.implementations import mpich2, mvapich2, open_mpi
+from repro.mpi.stack import Interconnect
+from repro.toolchain.compilers import CompilerFamily, gnu, intel
+
+
+def _binary(site, release, compiler, name="nas.bt"):
+    spec = MpiStackSpec(release, compiler, Interconnect.INFINIBAND)
+    return CompiledBinary(
+        benchmark=benchmark(name), build_site=site,
+        stack_slug=spec.slug, stack_spec=spec, image=b"\x7fELF-fake",
+        path=f"/home/user/{name}")
+
+
+class TestNaiveStackSelection:
+    def test_prefers_same_compiler_family(self, paper_sites_by_name):
+        india = paper_sites_by_name["india"]
+        intel_binary = _binary("fir", open_mpi("1.4"), intel("12.0"))
+        chosen = _naive_stack(india, intel_binary)
+        assert chosen.spec.compiler.family is CompilerFamily.INTEL
+        gnu_binary = _binary("fir", open_mpi("1.4"), gnu("4.1.2"))
+        chosen = _naive_stack(india, gnu_binary)
+        assert chosen.spec.compiler.family is CompilerFamily.GNU
+
+    def test_falls_back_to_any_family(self, paper_sites_by_name):
+        # forge's MVAPICH2 is intel-only; a gnu-built MVAPICH binary
+        # still gets the matching implementation.
+        forge = paper_sites_by_name["forge"]
+        gnu_binary = _binary("india", mvapich2("1.7a2"), gnu("4.1.2"))
+        chosen = _naive_stack(forge, gnu_binary)
+        assert chosen is not None
+        assert chosen.spec.kind.value == "MVAPICH2"
+
+    def test_none_when_no_matching_impl(self, paper_sites_by_name):
+        blacklight = paper_sites_by_name["blacklight"]
+        mpich_binary = _binary("india", mpich2("1.4"), gnu("4.1.2"))
+        assert _naive_stack(blacklight, mpich_binary) is None
+
+    def test_deterministic_tiebreak(self, paper_sites_by_name):
+        fir = paper_sites_by_name["fir"]
+        binary = _binary("india", open_mpi("1.4"), gnu("4.1.2"))
+        first = _naive_stack(fir, binary)
+        second = _naive_stack(fir, binary)
+        assert first.spec.slug == second.spec.slug
+
+
+class TestSafeTag:
+    def test_sanitises_ids(self):
+        tag = _safe_tag("nas.bt@fir/openmpi-1.4-intel", "basic")
+        assert "/" not in tag and "@" not in tag
+        assert tag.endswith("-basic")
+
+    def test_distinct_modes_distinct_tags(self):
+        a = _safe_tag("x@y/z", "basic")
+        b = _safe_tag("x@y/z", "ext")
+        assert a != b
+
+
+class TestFeamUsesDebugQueue:
+    def test_hello_jobs_accounted_in_debug_queue(self, make_site):
+        """Section VI.C: FEAM runs via the debug queue and its CPU hours
+        are measurable through the site's accounting."""
+        from repro.core import Feam
+        from repro.toolchain.compilers import Language
+        donor = make_site("acct-donor")
+        target = make_site("acct-target")
+        stack = donor.find_stack("openmpi-1.4-gnu")
+        app = donor.compile_mpi_program("acct-app", Language.C, stack)
+        donor.machine.fs.write("/home/user/acct-app", app.image, mode=0o755)
+        feam = Feam()
+        bundle = feam.run_source_phase(donor, "/home/user/acct-app",
+                                       env=donor.env_with_stack(stack))
+        target.machine.fs.write("/home/user/acct-app", app.image,
+                                mode=0o755)
+        feam.run_target_phase(target, binary_path="/home/user/acct-app",
+                              bundle=bundle, staging_tag="acct")
+        feam_jobs = [r for r in target.scheduler.records
+                     if r.name.startswith("feam:")]
+        assert feam_jobs
+        assert all(job.queue == "debug" for job in feam_jobs)
+        assert target.scheduler.cpu_hours_for("feam:") > 0

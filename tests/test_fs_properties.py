@@ -1,0 +1,74 @@
+"""Property-based tests of the virtual filesystem."""
+
+import posixpath
+import string
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sysmodel.fs import VirtualFilesystem
+
+_segment = st.text(string.ascii_lowercase + string.digits,
+                   min_size=1, max_size=8)
+_paths = st.lists(_segment, min_size=1, max_size=5).map(
+    lambda parts: "/" + "/".join(parts))
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.dictionaries(_paths, st.binary(max_size=64),
+                       min_size=1, max_size=12))
+def test_write_then_read_consistency(files):
+    fs = VirtualFilesystem()
+    written = {}
+    for path, content in files.items():
+        try:
+            fs.write(path, content)
+        except Exception:
+            # A path may be shadowed by an earlier file acting as a
+            # directory component; those writes legitimately fail.
+            continue
+        written[path] = content
+        # Later writes may turn a file's ancestor into a directory; keep
+        # only still-live entries.
+    for path, content in written.items():
+        if fs.is_file(path):
+            assert fs.read(path) == content
+
+
+@settings(max_examples=100, deadline=None)
+@given(_paths, st.binary(max_size=32))
+def test_normalisation_invariance(path, content):
+    fs = VirtualFilesystem()
+    fs.write(path, content)
+    # Reading through redundant "." segments reaches the same node.
+    parts = path.strip("/").split("/")
+    noisy = "/" + "/./".join(parts)
+    assert fs.read(noisy) == content
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(_paths, min_size=1, max_size=10, unique=True))
+def test_walk_visits_every_file(paths):
+    fs = VirtualFilesystem()
+    created = []
+    for path in paths:
+        try:
+            fs.write(path, b"x")
+            created.append(path)
+        except Exception:
+            continue
+    found = {posixpath.join(d, f)
+             for d, _dirs, fnames in fs.walk("/") for f in fnames}
+    for path in created:
+        if fs.is_file(path):
+            assert posixpath.normpath(path) in found
+
+
+@settings(max_examples=80, deadline=None)
+@given(_paths, _segment)
+def test_symlink_realpath_terminates(path, name):
+    fs = VirtualFilesystem()
+    fs.write(path, b"data")
+    link = "/links/" + name
+    fs.symlink(link, path)
+    assert fs.realpath(link) == posixpath.normpath(path)
+    assert fs.read(link) == b"data"

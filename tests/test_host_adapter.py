@@ -1,0 +1,149 @@
+"""Host adapter: FEAM's analysis over the real machine.
+
+Runs only on Linux hosts with real ELF binaries; validates the loader
+model against the system's real ``ldd``.
+"""
+
+import os
+import platform
+import shutil
+import subprocess
+
+import pytest
+
+from repro.elf.reader import is_elf
+from repro.host import HostFilesystem, host_machine, host_toolbox
+from repro.sysmodel.fs import FsError
+
+
+def _find_real_binary():
+    for candidate in ("/bin/ls", "/usr/bin/env", "/bin/cat"):
+        try:
+            with open(candidate, "rb") as fh:
+                head = fh.read(4)
+        except OSError:
+            continue
+        if head == b"\x7fELF":
+            return candidate
+    return None
+
+
+REAL = _find_real_binary()
+needs_elf_host = pytest.mark.skipif(
+    REAL is None or platform.system() != "Linux",
+    reason="needs a Linux host with ELF binaries")
+
+
+class TestHostFilesystem:
+    def test_read_and_queries(self, tmp_path):
+        fs = HostFilesystem()
+        target = tmp_path / "file.txt"
+        target.write_text("hello")
+        assert fs.is_file(str(target))
+        assert fs.read(str(target)) == b"hello"
+        assert fs.size(str(target)) == 5
+        assert fs.is_dir(str(tmp_path))
+        assert "file.txt" in fs.listdir(str(tmp_path))
+
+    def test_missing_file_raises_fs_error(self):
+        fs = HostFilesystem()
+        with pytest.raises(FsError):
+            fs.read("/no/such/file/anywhere")
+
+    def test_mutation_refused(self, tmp_path):
+        fs = HostFilesystem()
+        with pytest.raises(FsError):
+            fs.write(str(tmp_path / "x"), b"data")
+        with pytest.raises(FsError):
+            fs.remove(str(tmp_path))
+        with pytest.raises(FsError):
+            fs.makedirs(str(tmp_path / "sub"))
+
+    def test_walk_depth_capped(self, tmp_path):
+        deep = tmp_path
+        for i in range(12):
+            deep = deep / f"d{i}"
+        deep.mkdir(parents=True)
+        (deep / "toodeep.txt").write_text("x")
+        fs = HostFilesystem()
+        hits = list(fs.find_files(str(tmp_path),
+                                  lambda n: n == "toodeep.txt"))
+        assert hits == []  # beyond MAX_WALK_DEPTH
+
+    def test_symlink_resolution(self, tmp_path):
+        fs = HostFilesystem()
+        target = tmp_path / "real"
+        target.write_bytes(b"x")
+        link = tmp_path / "link"
+        link.symlink_to(target)
+        assert fs.is_symlink(str(link))
+        assert fs.realpath(str(link)) == str(target)
+
+
+@needs_elf_host
+class TestHostMachine:
+    def test_identity(self):
+        machine = host_machine()
+        assert machine.arch == platform.machine()
+        assert machine.uname_processor() == machine.arch
+
+    def test_read_elf_real_binary(self):
+        machine = host_machine()
+        elf = machine.read_elf(REAL)
+        assert "libc.so.6" in elf.dynamic.needed
+        # Cached on second read.
+        assert machine.read_elf(REAL) is elf
+
+    def test_loader_resolves_real_binary(self):
+        machine = host_machine()
+        with open(REAL, "rb") as fh:
+            data = fh.read()
+        report = machine.loader.resolve(data, machine.env, origin=REAL)
+        assert report.ok, (report.missing_sonames, report.version_errors)
+
+    @pytest.mark.skipif(shutil.which("ldd") is None, reason="no real ldd")
+    def test_loader_agrees_with_real_ldd(self):
+        machine = host_machine()
+        with open(REAL, "rb") as fh:
+            data = fh.read()
+        report = machine.loader.resolve(data, machine.env, origin=REAL)
+        out = subprocess.run(["ldd", REAL], capture_output=True,
+                             text=True).stdout
+        real_missing = {line.split("=>")[0].strip()
+                        for line in out.splitlines() if "not found" in line}
+        assert set(report.missing_sonames) == real_missing
+
+
+@needs_elf_host
+class TestHostToolboxAndBdc:
+    def test_describe_real_binary(self):
+        from repro.core.description import BinaryDescriptionComponent
+        toolbox = host_toolbox()
+        description = BinaryDescriptionComponent(toolbox).describe(REAL)
+        assert description.is_dynamic
+        assert "libc.so.6" in description.needed
+        assert description.required_glibc is not None
+        assert description.mpi_implementation is None
+
+    def test_locate_disabled(self):
+        from repro.tools.toolbox import ToolUnavailable
+        toolbox = host_toolbox()
+        with pytest.raises(ToolUnavailable):
+            toolbox.locate("libc.so.6")
+
+    def test_loader_visible_library_finds_libc(self):
+        toolbox = host_toolbox()
+        path = toolbox.loader_visible_library("libc.so.6")
+        assert path is not None
+        with open(os.path.realpath(path), "rb") as fh:
+            assert is_elf(fh.read(4))
+
+    def test_edc_discovers_host_libc(self):
+        """The EDC's libc discovery works on the real machine (via the
+        version-definitions fallback; real libc banners need execution)."""
+        toolbox = host_toolbox()
+        path = toolbox.loader_visible_library("libc.so.6")
+        version = toolbox.libc_version_via_api(path)
+        assert version is not None
+        major = int(version.split(".")[0])
+        assert major >= 2

@@ -1,0 +1,94 @@
+"""Shared-library naming and the paper's compatibility rule."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sysmodel.library import (
+    LibraryName,
+    minor_at_least,
+    parse_library_name,
+    sonames_compatible,
+)
+
+
+@pytest.mark.parametrize("name,stem,version", [
+    ("libc.so.6", "libc", (6,)),
+    ("libmpich.so.1.2", "libmpich", (1, 2)),
+    ("libmpi.so.0.0.2", "libmpi", (0, 0, 2)),
+    ("libimf.so", "libimf", ()),
+    ("libstdc++.so.6.0.13", "libstdc++", (6, 0, 13)),
+    ("libopen-rte.so.0", "libopen-rte", (0,)),
+    ("libmpi_f77.so.0", "libmpi_f77", (0,)),
+])
+def test_parse(name, stem, version):
+    parsed = parse_library_name(name)
+    assert parsed == LibraryName(stem=stem, version=version)
+
+
+def test_parse_with_path():
+    parsed = parse_library_name("/usr/lib64/libz.so.1.2.3")
+    assert parsed is not None
+    assert parsed.stem == "libz"
+    assert parsed.version == (1, 2, 3)
+
+
+@pytest.mark.parametrize("name", ["notalib", "lib.so", "vmlinuz",
+                                  "libfoo.a", "libfoo.so.x"])
+def test_parse_rejects_non_libraries(name):
+    assert parse_library_name(name) is None
+
+
+def test_derived_names():
+    name = LibraryName("libmpich", (1, 2))
+    assert name.base_name == "libmpich.so"
+    assert name.soname == "libmpich.so.1"
+    assert name.full_name == "libmpich.so.1.2"
+    assert name.major == 1
+    assert name.with_version(3).soname == "libmpich.so.3"
+
+
+def test_unversioned_soname():
+    name = LibraryName("libimf", ())
+    assert name.soname == "libimf.so"
+    assert name.major is None
+
+
+@pytest.mark.parametrize("required,available,compatible", [
+    # Paper rule: equal majors are guaranteed compatible.
+    ("libfoo.so.2", "libfoo.so.2", True),
+    ("libfoo.so.2", "libfoo.so.2.5", True),
+    ("libfoo.so.2", "libfoo.so.3", False),
+    ("libfoo.so.2", "libbar.so.2", False),
+    ("libimf.so", "libimf.so", True),
+    ("libmpich.so.1.0", "libmpich.so.3", False),
+    ("libmpich.so.3", "libmpich.so.3.0.1", True),
+])
+def test_soname_compatibility(required, available, compatible):
+    assert sonames_compatible(required, available) is compatible
+
+
+def test_minor_ordering():
+    assert minor_at_least("libfoo.so.2.3", "libfoo.so.2.4")
+    assert minor_at_least("libfoo.so.2.3", "libfoo.so.2.3")
+    assert not minor_at_least("libfoo.so.2.3", "libfoo.so.2.2")
+    assert not minor_at_least("libfoo.so.2.3", "libfoo.so.3.9")
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.text("abcdefghij_", min_size=1, max_size=10),
+       st.lists(st.integers(0, 40), max_size=4).map(tuple))
+def test_full_name_roundtrips(stem_suffix, version):
+    original = LibraryName(f"lib{stem_suffix}", version)
+    parsed = parse_library_name(original.full_name)
+    assert parsed == original
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.text("abcdefg", min_size=1, max_size=8),
+       st.integers(0, 50), st.integers(0, 50))
+def test_compatibility_is_major_equality(stem, major_a, major_b):
+    a = f"lib{stem}.so.{major_a}"
+    b = f"lib{stem}.so.{major_b}"
+    assert sonames_compatible(a, b) is (major_a == major_b)
+    # And it's symmetric.
+    assert sonames_compatible(a, b) == sonames_compatible(b, a)

@@ -1,0 +1,113 @@
+"""Metric computations over synthetic migration records."""
+
+import pytest
+
+from repro.corpus.benchmarks import Suite
+from repro.evaluation.experiment import MigrationRecord
+from repro.evaluation.metrics import (
+    accuracy,
+    accuracy_table,
+    failure_breakdown,
+    missing_library_share,
+    resolution_increase,
+    resolution_table,
+    success_rate,
+)
+
+
+def record(suite=Suite.NPB, basic=True, extended=True, before=True,
+           after=True, before_failure=None, after_failure=None):
+    return MigrationRecord(
+        binary_id="b", suite=suite, benchmark="nas.bt",
+        build_site="a", build_stack="openmpi-1.4-gnu", target_site="b",
+        naive_stack="openmpi-1.4-gnu",
+        basic_ready=basic, extended_ready=extended,
+        actual_before_ok=before, actual_before_failure=before_failure,
+        actual_after_ok=after, actual_after_failure=after_failure,
+        feam_stack="openmpi-1.4-gnu")
+
+
+def test_accuracy_counts_matches():
+    records = [
+        record(basic=True, before=True),    # correct
+        record(basic=True, before=False),   # wrong
+        record(basic=False, before=False),  # correct
+        record(basic=False, before=True),   # wrong
+    ]
+    assert accuracy(records, "basic") == 0.5
+
+
+def test_accuracy_extended_uses_after():
+    records = [record(extended=True, after=False),
+               record(extended=False, after=False)]
+    assert accuracy(records, "extended") == 0.5
+
+
+def test_accuracy_unknown_mode():
+    with pytest.raises(ValueError):
+        accuracy([record()], "psychic")
+
+
+def test_accuracy_empty_is_none():
+    assert accuracy([], "basic") is None
+
+
+def test_success_rates():
+    records = [record(before=True, after=True),
+               record(before=False, after=True),
+               record(before=False, after=False)]
+    assert success_rate(records, "before") == pytest.approx(1 / 3)
+    assert success_rate(records, "after") == pytest.approx(2 / 3)
+    with pytest.raises(ValueError):
+        success_rate(records, "someday")
+
+
+def test_resolution_increase():
+    records = [record(before=True, after=True)] * 3 + \
+        [record(before=False, after=True)]
+    assert resolution_increase(records) == pytest.approx(1 / 3)
+
+
+def test_resolution_increase_zero_base():
+    assert resolution_increase([record(before=False, after=True)]) is None
+
+
+def test_tables_partition_by_suite():
+    records = [record(suite=Suite.NPB, basic=True, before=True),
+               record(suite=Suite.SPEC, basic=True, before=False)]
+    acc = accuracy_table(records)
+    assert acc[Suite.NPB]["basic"] == 1.0
+    assert acc[Suite.SPEC]["basic"] == 0.0
+    res = resolution_table(records)
+    assert res[Suite.NPB]["before"] == 1.0
+    assert res[Suite.SPEC]["before"] == 0.0
+
+
+def test_failure_breakdown():
+    records = [
+        record(before=False, before_failure="missing-shared-library"),
+        record(before=False, before_failure="missing-shared-library"),
+        record(before=False, before_failure="system-error"),
+        record(before=True),
+    ]
+    breakdown = failure_breakdown(records, "before")
+    assert breakdown["missing-shared-library"] == 2
+    assert breakdown["system-error"] == 1
+    assert sum(breakdown.values()) == 3
+
+
+def test_missing_library_share():
+    records = [
+        record(before=False, before_failure="missing-shared-library"),
+        record(before=False, before_failure="c-library-version"),
+    ]
+    assert missing_library_share(records) == 0.5
+    assert missing_library_share([record(before=True)]) is None
+
+
+def test_record_helper_properties():
+    helped = record(before=False, after=True)
+    assert helped.resolution_helped
+    assert not record(before=True, after=True).resolution_helped
+    assert record(basic=True, before=True).basic_correct
+    assert not record(extended=True, after=False).extended_correct

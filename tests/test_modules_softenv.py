@@ -1,0 +1,103 @@
+"""Environment Modules and SoftEnv emulation tests."""
+
+import pytest
+
+from repro.sites.modules import (
+    EnvironmentModules,
+    NoModuleSystem,
+    detect_module_system,
+)
+from repro.sites.softenv import SoftEnv
+from repro.sysmodel.env import Environment
+from repro.sysmodel.fs import VirtualFilesystem
+
+
+@pytest.fixture
+def fs():
+    return VirtualFilesystem()
+
+
+class TestEnvironmentModules:
+    def test_absent_until_installed(self, fs):
+        assert not EnvironmentModules(fs).is_present()
+        assert detect_module_system(fs) is None
+
+    def test_install_makes_present(self, fs):
+        modules = EnvironmentModules(fs)
+        modules.install()
+        assert modules.is_present()
+        assert detect_module_system(fs) is not None
+
+    def test_avail_lists_nested_names(self, fs):
+        modules = EnvironmentModules(fs)
+        modules.install()
+        modules.write_modulefile("openmpi/1.4-intel",
+                                 [("PATH", "/opt/x/bin")])
+        modules.write_modulefile("gcc/4.4.5", [("PATH", "/opt/gcc/bin")])
+        assert modules.avail() == ["gcc/4.4.5", "openmpi/1.4-intel"]
+
+    def test_load_applies_prepend_path(self, fs):
+        modules = EnvironmentModules(fs)
+        modules.install()
+        modules.write_modulefile("openmpi/1.4-gnu", [
+            ("PATH", "/opt/openmpi-1.4-gnu/bin"),
+            ("LD_LIBRARY_PATH", "/opt/openmpi-1.4-gnu/lib"),
+        ])
+        env = Environment()
+        modules.load("openmpi/1.4-gnu", env)
+        assert env.path[0] == "/opt/openmpi-1.4-gnu/bin"
+        assert env.ld_library_path == ["/opt/openmpi-1.4-gnu/lib"]
+        assert modules.loaded(env) == ["openmpi/1.4-gnu"]
+
+    def test_load_unknown_raises(self, fs):
+        modules = EnvironmentModules(fs)
+        modules.install()
+        with pytest.raises(KeyError):
+            modules.load("nope/1.0", Environment())
+
+    def test_modulefile_is_parseable_text(self, fs):
+        modules = EnvironmentModules(fs)
+        modules.install()
+        modules.write_modulefile("m/1", [("PATH", "/p")], description="demo")
+        text = fs.read_text("/usr/share/Modules/modulefiles/m/1")
+        assert text.startswith("#%Module1.0")
+        assert "prepend-path PATH /p" in text
+        assert "demo" in text
+
+
+class TestSoftEnv:
+    def test_absent_until_installed(self, fs):
+        assert not SoftEnv(fs).is_present()
+
+    def test_keys_roundtrip(self, fs):
+        softenv = SoftEnv(fs)
+        softenv.install()
+        softenv.add_key("openmpi-1.4-intel", [
+            ("PATH", "/opt/openmpi-1.4-intel/bin"),
+            ("LD_LIBRARY_PATH", "/opt/openmpi-1.4-intel/lib")])
+        softenv.add_key("another-key", [("PATH", "/x")])
+        assert softenv.avail() == ["another-key", "openmpi-1.4-intel"]
+
+    def test_load(self, fs):
+        softenv = SoftEnv(fs)
+        softenv.install()
+        softenv.add_key("k", [("LD_LIBRARY_PATH", "/k/lib")])
+        env = Environment()
+        softenv.load("k", env)
+        assert env.ld_library_path == ["/k/lib"]
+
+    def test_load_unknown_raises(self, fs):
+        softenv = SoftEnv(fs)
+        softenv.install()
+        with pytest.raises(KeyError):
+            softenv.load("missing", Environment())
+
+
+class TestNoModuleSystem:
+    def test_noop_behaviour(self):
+        none = NoModuleSystem()
+        assert not none.is_present()
+        assert none.avail() == []
+        assert none.loaded(Environment()) == []
+        with pytest.raises(KeyError):
+            none.load("x", Environment())

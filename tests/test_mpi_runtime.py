@@ -1,0 +1,174 @@
+"""Execution simulator (ground truth) tests."""
+
+import pytest
+
+from repro.mpi.runtime import BuildProvenance, RunRequest
+from repro.mpi.provenance import GLOBAL_REGISTRY, ProvenanceRegistry
+from repro.sysmodel.errors import ExecutionOutcome, FailureKind
+from repro.toolchain.compilers import Language
+
+
+@pytest.fixture
+def site(make_site):
+    return make_site("runtime-site")
+
+
+@pytest.fixture
+def stack(site):
+    return site.find_stack("openmpi-1.4-gnu")
+
+
+@pytest.fixture
+def app(site, stack):
+    return site.compile_mpi_program("app", Language.C, stack)
+
+
+def _prov(site, stack, name="app"):
+    return BuildProvenance(stack=stack.spec, build_site=site.name,
+                           binary_name=name)
+
+
+def test_local_run_succeeds(site, stack, app):
+    result = site.run_with_retries("app", app.image, stack,
+                                   provenance=_prov(site, stack))
+    assert result.ok
+    assert "ranks completed" in result.stdout
+
+
+def test_misconfigured_stack_fails_everything(make_site):
+    site = make_site("broken", misconfigured=("openmpi-1.4-gnu",))
+    stack = site.find_stack("openmpi-1.4-gnu")
+    app = site.compile_mpi_program("app", Language.C, stack)
+    result = site.run_with_retries("app", app.image, stack,
+                                   provenance=_prov(site, stack))
+    assert not result.ok
+    assert result.failure.kind is FailureKind.MPI_STACK_UNUSABLE
+
+
+def test_missing_library_failure(site, make_site):
+    # An Intel-built binary at a site whose matching stack is GNU-only:
+    # the Intel runtime never reaches the loader's search path.
+    from repro.mpi.implementations import open_mpi
+    from repro.sites.site import StackRequest
+    from repro.toolchain.compilers import CompilerFamily
+    intel_stack = site.find_stack("openmpi-1.4-intel")
+    app = site.compile_mpi_program("iapp", Language.C, intel_stack)
+    bare = make_site(
+        "bare", vendor_compilers=(),
+        stacks=(StackRequest(open_mpi("1.4"), CompilerFamily.GNU),))
+    gnu_stack = bare.find_stack("openmpi-1.4-gnu")
+    result = bare.simulator.run(RunRequest(
+        binary=app.image, stack=gnu_stack,
+        env=bare.env_with_stack(gnu_stack),
+        provenance=_prov(site, intel_stack, "iapp")))
+    assert result.failure.kind is FailureKind.MISSING_LIBRARY
+
+
+def test_missing_launcher_is_stack_unusable(site, stack, app, make_site):
+    """Launching through a stack whose launcher command does not exist
+    fails like a misconfigured stack (the per-MPI-type mpiexec override
+    of Section V.C exists for exactly this)."""
+    result = site.simulator.run(RunRequest(
+        binary=app.image, stack=stack, env=site.env_with_stack(stack),
+        provenance=_prov(site, stack), launcher="mpirun_rsh"))
+    assert result.failure.kind is FailureKind.MPI_STACK_UNUSABLE
+    assert "command not found" in result.failure.detail
+
+
+def test_mvapich_ships_mpirun_rsh(make_site):
+    from repro.mpi.implementations import mvapich2
+    from repro.sites.site import StackRequest
+    from repro.toolchain.compilers import CompilerFamily
+    site = make_site(
+        "mvsite",
+        stacks=(StackRequest(mvapich2("1.7a"), CompilerFamily.GNU),))
+    stack = site.find_stack("mvapich2-1.7a-gnu")
+    assert site.machine.fs.is_executable(stack.bindir + "/mpirun_rsh")
+    app = site.compile_mpi_program("mvapp", Language.C, stack)
+    result = site.run_with_retries("mvapp", app.image, stack,
+                                   provenance=_prov(site, stack, "mvapp"),
+                                   launcher="mpirun_rsh")
+    assert result.ok
+
+
+def test_curse_is_persistent_across_attempts(site, stack, app):
+    prov = _prov(site, stack, name="cursed-app")
+    results = [
+        site.execute("x", app.image, stack, provenance=prov,
+                     curse_probability=1.0, attempt=attempt).result
+        for attempt in range(5)]
+    assert all(r.failure is not None and
+               r.failure.kind is FailureKind.SYSTEM_ERROR for r in results)
+
+
+def test_transient_errors_absorbed_by_retries(make_site):
+    site = make_site("flaky")
+    site.simulator.transient_error_probability = 0.5
+    stack = site.find_stack("openmpi-1.4-gnu")
+    app = site.compile_mpi_program("app", Language.C, stack)
+    result = site.run_with_retries("app", app.image, stack,
+                                   provenance=_prov(site, stack),
+                                   attempts=30)
+    assert result.ok  # 30 attempts at 50% each practically always pass
+
+
+def test_abi_pair_draw_is_deterministic(site, stack, app, make_site):
+    other = make_site("other-site", system_gnu_version="4.4.5")
+    other_stack = other.find_stack("openmpi-1.4-gnu")
+    prov = BuildProvenance(stack=other_stack.spec, build_site="other-site",
+                           binary_name="migrant")
+    first = site.simulator.run(RunRequest(
+        binary=app.image, stack=stack, env=site.env_with_stack(stack),
+        provenance=prov))
+    second = site.simulator.run(RunRequest(
+        binary=app.image, stack=stack, env=site.env_with_stack(stack),
+        provenance=prov))
+    assert first.outcome == second.outcome
+
+
+def test_same_stack_no_abi_failure(site, stack, app):
+    # Identical build and runtime stack: never an ABI/FP failure.
+    for attempt in range(5):
+        result = site.simulator.run(RunRequest(
+            binary=app.image, stack=stack, env=site.env_with_stack(stack),
+            provenance=_prov(site, stack), attempt=attempt))
+        if result.failure:
+            assert result.failure.kind is FailureKind.SYSTEM_ERROR
+
+
+def test_non_elf_binary_rejected(site, stack):
+    result = site.simulator.run(RunRequest(
+        binary=b"#!/bin/sh\n", stack=stack, env=site.machine.env))
+    assert result.failure.kind is FailureKind.EXEC_FORMAT
+
+
+def test_elapsed_time_scales_with_size(site, stack):
+    small = site.compile_mpi_program("small", Language.C, stack,
+                                     payload_size=10_000)
+    big = site.compile_mpi_program("big", Language.C, stack,
+                                   payload_size=2_000_000)
+    env = site.env_with_stack(stack)
+    r_small = site.simulator.run(RunRequest(
+        binary=small.image, stack=stack, env=env))
+    r_big = site.simulator.run(RunRequest(
+        binary=big.image, stack=stack, env=env))
+    assert r_big.elapsed_seconds > r_small.elapsed_seconds
+
+
+class TestProvenanceRegistry:
+    def test_register_and_lookup(self, site, stack, app):
+        # compile_mpi_program registers automatically.
+        prov = GLOBAL_REGISTRY.lookup(app.image)
+        assert prov is not None
+        assert prov.build_site == site.name
+        assert prov.stack.slug == "openmpi-1.4-gnu"
+
+    def test_unknown_image(self):
+        assert GLOBAL_REGISTRY.lookup(b"unknown bytes") is None
+
+    def test_fresh_registry(self):
+        registry = ProvenanceRegistry()
+        assert len(registry) == 0
+        prov = BuildProvenance.__new__(BuildProvenance)
+        registry._by_hash["x"] = prov
+        assert len(registry) == 1

@@ -1,0 +1,67 @@
+"""Markdown report generation over a reduced experiment."""
+
+import pytest
+
+from repro.corpus.benchmarks import Suite
+from repro.corpus.builder import CorpusConfig
+from repro.evaluation.experiment import ExperimentConfig, run_experiment
+from repro.evaluation.reportgen import render_markdown_report
+
+
+@pytest.fixture(scope="module")
+def report_text():
+    result = run_experiment(ExperimentConfig(
+        seed=31337,
+        corpus=CorpusConfig(seed=31337, target_counts={
+            Suite.NPB: 15, Suite.SPEC: 15})))
+    return render_markdown_report(result)
+
+
+def test_headline_sections_present(report_text):
+    for heading in ("# FEAM reproduction",
+                    "## Prediction accuracy",
+                    "## Resolution impact",
+                    "## Failure causes before resolution",
+                    "## Operational measurements",
+                    "## Determinant ablation",
+                    "## Migration matrix"):
+        assert heading in report_text
+
+
+def test_paper_values_included(report_text):
+    # The published Table III/IV values appear for comparison.
+    assert "94%" in report_text
+    assert "99%" in report_text
+
+
+def test_matrix_covers_all_sites(report_text):
+    for name in ("ranger", "forge", "blacklight", "india", "fir"):
+        assert name in report_text
+
+
+def test_is_valid_markdown_table_structure(report_text):
+    for line in report_text.splitlines():
+        if line.startswith("|"):
+            assert line.rstrip().endswith("|"), line
+
+
+def test_mentions_test_set_size(report_text):
+    assert "15 NPB" in report_text
+    assert "15 SPEC MPI2007" in report_text
+
+
+def test_records_to_csv(report_text):
+    # Reuse the module fixture's experiment via a fresh reduced run.
+    from repro.evaluation.reportgen import records_to_csv
+    result = run_experiment(ExperimentConfig(
+        seed=31337,
+        corpus=CorpusConfig(seed=31337, target_counts={
+            Suite.NPB: 15, Suite.SPEC: 15})))
+    csv_text = records_to_csv(result)
+    lines = csv_text.strip().splitlines()
+    assert lines[0].startswith("binary_id,suite,benchmark")
+    assert len(lines) == len(result.records) + 1
+    import csv as csv_module
+    import io
+    rows = list(csv_module.reader(io.StringIO(csv_text)))
+    assert all(len(row) == len(rows[0]) for row in rows)

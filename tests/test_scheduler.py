@@ -1,0 +1,104 @@
+"""Batch scheduler simulation tests."""
+
+import pytest
+
+from repro.sites.scheduler import (
+    DEFAULT_QUEUES,
+    Queue,
+    Scheduler,
+    SchedulerFlavor,
+)
+from repro.sysmodel.errors import ExecutionResult, FailureKind
+
+
+@pytest.fixture
+def scheduler():
+    return Scheduler(SchedulerFlavor.PBS, "testsite", seed=42)
+
+
+def _work(seconds=10.0, ok=True):
+    if ok:
+        return lambda: ExecutionResult.success(elapsed_seconds=seconds)
+    return lambda: ExecutionResult.fail(
+        FailureKind.SYSTEM_ERROR, "boom", elapsed_seconds=seconds)
+
+
+def test_submit_advances_clock(scheduler):
+    before = scheduler.clock_seconds
+    record = scheduler.submit("job", _work(30.0), queue="debug", nprocs=4)
+    assert scheduler.clock_seconds > before
+    assert record.run_seconds == 30.0
+    assert record.wait_seconds > 0
+
+
+def test_cpu_hours_accounting(scheduler):
+    scheduler.submit("a", _work(3600.0), queue="normal", nprocs=8)
+    assert scheduler.total_cpu_hours == pytest.approx(8.0)
+    scheduler.submit("feam:x", _work(60.0), queue="debug", nprocs=1)
+    assert scheduler.cpu_hours_for("feam:") == pytest.approx(60.0 / 3600.0)
+
+
+def test_walltime_capped_by_queue(scheduler):
+    record = scheduler.submit("long", _work(10**6), queue="debug")
+    assert record.run_seconds == scheduler.queues["debug"].max_walltime_seconds
+
+
+def test_unknown_queue_rejected(scheduler):
+    with pytest.raises(KeyError):
+        scheduler.submit("x", _work(), queue="imaginary")
+
+
+def test_wait_times_deterministic():
+    a = Scheduler(SchedulerFlavor.PBS, "site", seed=7)
+    b = Scheduler(SchedulerFlavor.PBS, "site", seed=7)
+    ra = a.submit("j", _work())
+    rb = b.submit("j", _work())
+    assert ra.wait_seconds == rb.wait_seconds
+
+
+def test_debug_queue_waits_less_than_normal(scheduler):
+    debug = [scheduler.submit(f"d{i}", _work(), queue="debug").wait_seconds
+             for i in range(20)]
+    normal = [scheduler.submit(f"n{i}", _work(), queue="normal").wait_seconds
+              for i in range(20)]
+    assert max(debug) < min(normal)
+
+
+def test_failure_recorded(scheduler):
+    record = scheduler.submit("bad", _work(ok=False))
+    assert not record.result.ok
+    assert record.result.failure.kind is FailureKind.SYSTEM_ERROR
+
+
+def test_job_ids_increment(scheduler):
+    first = scheduler.submit("a", _work())
+    second = scheduler.submit("b", _work())
+    assert second.job_id == first.job_id + 1
+
+
+def test_has_debug_queue(scheduler):
+    assert scheduler.has_debug_queue()
+    no_debug = Scheduler(SchedulerFlavor.SGE, "s", 1,
+                         queues=(Queue("batch", 3600, 100.0),))
+    assert not no_debug.has_debug_queue()
+
+
+@pytest.mark.parametrize("flavor,serial_marker,parallel_marker", [
+    (SchedulerFlavor.PBS, "#PBS -N", "#PBS -l nodes"),
+    (SchedulerFlavor.SGE, "#$ -N", "#$ -pe mpi"),
+    (SchedulerFlavor.SLURM, "#SBATCH -J", "#SBATCH -n"),
+])
+def test_submission_templates(flavor, serial_marker, parallel_marker):
+    scheduler = Scheduler(flavor, "s", 1)
+    assert serial_marker in scheduler.serial_template()
+    parallel = scheduler.parallel_template()
+    assert parallel_marker in parallel
+    assert "{mpiexec}" in parallel
+
+
+def test_default_queues_sensible():
+    names = [q.name for q in DEFAULT_QUEUES]
+    assert "debug" in names and "normal" in names
+    debug = next(q for q in DEFAULT_QUEUES if q.name == "debug")
+    assert debug.is_debug
+    assert debug.max_walltime_seconds == 1800

@@ -1,0 +1,74 @@
+"""Site self-diagnosis over the catalog and broken configurations."""
+
+import pytest
+
+from repro.sites.doctor import diagnose_site, errors
+
+
+def test_paper_sites_are_healthy(paper_sites):
+    """Catalog regression guard: every Table II site passes every check
+    (intentional states surface only as notes)."""
+    for site in paper_sites:
+        findings = diagnose_site(site)
+        assert errors(findings) == [], (site.name, findings)
+
+
+def test_fir_misconfiguration_noted(paper_sites_by_name):
+    findings = diagnose_site(paper_sites_by_name["fir"])
+    notes = [f for f in findings if f.severity == "note"]
+    assert any("mpich2-1.3-pgi" in f.detail for f in notes)
+
+
+def test_mini_site_healthy(mini_site):
+    assert errors(diagnose_site(mini_site)) == []
+
+
+def test_stale_ldconfig_detected(make_site):
+    site = make_site("stale")
+    from repro.toolchain.products import LibraryProduct
+    LibraryProduct("libextra.so.1", size=500).install(
+        site.machine.fs, "/usr/lib64", site.libc)
+    findings = errors(diagnose_site(site))
+    assert any(f.check == "ldconfig" for f in findings)
+
+
+def test_missing_modulefile_detected(make_site):
+    site = make_site("nomod")
+    site.machine.fs.remove(
+        "/usr/share/Modules/modulefiles/openmpi/1.4-intel")
+    findings = errors(diagnose_site(site))
+    assert any(f.check == "modulefile" for f in findings)
+    assert any(f.check == "stack-environment" for f in findings)
+
+
+def test_deleted_library_detected(make_site):
+    site = make_site("broken-lib")
+    stack = site.find_stack("openmpi-1.4-gnu")
+    site.machine.fs.remove(stack.libdir + "/libmpi.so.0")
+    site.machine.fs.remove(stack.libdir + "/libmpi.so.0.1.4")
+    findings = errors(diagnose_site(site))
+    assert any(f.check == "stack-resolution"
+               and "libmpi.so.0" in f.detail for f in findings)
+
+
+def test_missing_launcher_detected(make_site):
+    site = make_site("no-launcher")
+    stack = site.find_stack("openmpi-1.4-intel")
+    site.machine.fs.remove(stack.mpiexec_path)
+    findings = errors(diagnose_site(site))
+    assert any(f.check == "launcher" and "mpiexec" in f.detail
+               for f in findings)
+
+
+def test_compute_divergence_noted(make_site):
+    site = make_site("diverged-note",
+                     compute_node_missing=("/usr/lib64/libz.so.1",))
+    findings = diagnose_site(site)
+    assert any(f.check == "compute-divergence" for f in findings)
+    assert errors(findings) == []  # divergence is a note, not an error
+
+
+def test_finding_str():
+    from repro.sites.doctor import Finding
+    text = str(Finding("error", "libc", "gone"))
+    assert text == "[error] libc: gone"

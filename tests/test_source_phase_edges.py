@@ -1,0 +1,77 @@
+"""Source-phase edge cases."""
+
+import pytest
+
+from repro.core import Feam
+from repro.core.bundlefile import pack_bundle, unpack_bundle
+from repro.toolchain.compilers import Language
+
+
+@pytest.fixture
+def donor(make_site):
+    return make_site("edge-donor")
+
+
+def _install_app(site, stack_slug="openmpi-1.4-gnu", name="eapp"):
+    stack = site.find_stack(stack_slug)
+    app = site.compile_mpi_program(name, Language.C, stack)
+    path = f"/home/user/{name}"
+    site.machine.fs.write(path, app.image, mode=0o755)
+    return stack, app, path
+
+
+def test_source_phase_without_stack_env(donor):
+    """Run with the bare login environment: no mpicc on PATH, so no
+    hello probes -- the bundle still carries descriptions and copies
+    (located by search, not ldd)."""
+    _stack, _app, path = _install_app(donor)
+    bundle = Feam().run_source_phase(donor, path)  # login env
+    assert bundle.hello is None
+    assert bundle.copied_count > 0
+    assert bundle.library("libmpi.so.0").copied
+
+
+def test_bundle_without_hello_roundtrips(donor):
+    _stack, _app, path = _install_app(donor)
+    bundle = Feam().run_source_phase(donor, path)
+    restored = unpack_bundle(pack_bundle(bundle))
+    assert restored.hello is None
+    assert restored.copied_count == bundle.copied_count
+
+
+def test_extended_phase_without_hello_probes(donor, make_site):
+    """A bundle without hello programs still enables resolution; the
+    extended compatibility tests are simply unavailable."""
+    from repro.mpi.implementations import open_mpi
+    from repro.sites.site import StackRequest
+    from repro.toolchain.compilers import CompilerFamily
+    stack, app, path = _install_app(donor, "openmpi-1.4-intel",
+                                    name="eapp2")
+    bundle = Feam().run_source_phase(donor, path)  # login env: no hello
+    assert bundle.hello is None
+    target = make_site(
+        "edge-target", vendor_compilers=(),
+        stacks=(StackRequest(open_mpi("1.4"), CompilerFamily.GNU),))
+    target.machine.fs.write("/home/user/eapp2", app.image, mode=0o755)
+    report = Feam().run_target_phase(
+        target, binary_path="/home/user/eapp2", bundle=bundle,
+        staging_tag="nohello")
+    # Intel runtime resolved from the bundle even without probes.
+    assert report.ready
+    assert report.resolution is not None and report.resolution.staged
+
+
+def test_source_summary_lists_all_libraries(donor):
+    stack, _app, path = _install_app(donor, name="eapp3")
+    Feam().run_source_phase(donor, path, env=donor.env_with_stack(stack))
+    summary = donor.machine.fs.read_text(
+        "/home/user/feam/out/source-eapp3.txt")
+    assert "libmpi.so.0: copied" in summary
+    assert "libc.so.6: described" in summary
+    assert "hello tests: c, fortran" in summary
+
+
+def test_source_phase_missing_binary_raises(donor):
+    from repro.sysmodel.fs import FsError
+    with pytest.raises(FsError):
+        Feam().run_source_phase(donor, "/home/user/does-not-exist")

@@ -1,0 +1,70 @@
+"""Submission scripts: rendering, parsing and file-based submission."""
+
+import pytest
+
+from repro.sites.scheduler import Scheduler, SchedulerFlavor
+from repro.sysmodel.errors import ExecutionResult
+
+
+def _ok(seconds=5.0):
+    return lambda: ExecutionResult.success(elapsed_seconds=seconds)
+
+
+@pytest.fixture(params=list(SchedulerFlavor))
+def scheduler(request):
+    return Scheduler(request.param, "scriptsite", seed=3)
+
+
+def test_template_roundtrip_parallel(scheduler):
+    script = scheduler.parallel_template().format(
+        name="wave", queue="normal", nodes=2, ppn=8, nprocs=16,
+        walltime="01:00:00", mpiexec="mpiexec", command="./wave.x")
+    fields = scheduler.parse_directives(script)
+    assert fields["name"] == "wave"
+    assert fields["queue"] == "normal"
+    assert fields["nprocs"] == 16
+    assert "./wave.x" in fields["command"]
+
+
+def test_template_roundtrip_serial(scheduler):
+    script = scheduler.serial_template().format(
+        name="probe", queue="debug", walltime="00:05:00",
+        command="./feam-target-phase")
+    fields = scheduler.parse_directives(script)
+    assert fields["name"] == "probe"
+    assert fields["queue"] == "debug"
+    assert fields["nprocs"] == 1
+    assert fields["command"] == "./feam-target-phase"
+
+
+def test_submit_script_uses_directives(scheduler):
+    script = scheduler.parallel_template().format(
+        name="biggish", queue="normal", nodes=1, ppn=4, nprocs=4,
+        walltime="01:00:00", mpiexec="mpiexec", command="./app")
+    record = scheduler.submit_script(script, _ok(3600.0))
+    assert record.name == "biggish"
+    assert record.queue == "normal"
+    assert record.nprocs == 4
+    assert record.cpu_hours == pytest.approx(4.0)
+
+
+def test_submit_script_unknown_queue_raises(scheduler):
+    script = scheduler.serial_template().format(
+        name="x", queue="imaginary", walltime="0", command="./x")
+    with pytest.raises(KeyError):
+        scheduler.submit_script(script, _ok())
+
+
+def test_parse_ignores_comments_and_blanks():
+    scheduler = Scheduler(SchedulerFlavor.PBS, "s", 1)
+    fields = scheduler.parse_directives(
+        "#!/bin/sh\n\n# a plain comment\n#PBS -N named\n./run\n")
+    assert fields["name"] == "named"
+    assert fields["command"] == "./run"
+
+
+def test_pbs_nodes_ppn_multiplied():
+    scheduler = Scheduler(SchedulerFlavor.PBS, "s", 1)
+    fields = scheduler.parse_directives(
+        "#PBS -l nodes=4:ppn=8\nmpiexec ./app\n")
+    assert fields["nprocs"] == 32
