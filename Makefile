@@ -2,13 +2,16 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench tables report examples clean
+.PHONY: install test ci bench tables report examples clean
 
 install:
 	pip install -e .
 
 test:
 	$(PYTHON) -m pytest tests/
+
+ci:
+	PYTHONPATH=src $(PYTHON) -m pytest -x -q
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

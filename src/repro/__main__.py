@@ -13,6 +13,14 @@
 
 Everything past the figures requires running the full evaluation (about
 half a minute); one run is shared across all requested artifacts.
+
+``python -m repro feam <command>`` (also installed as the ``feam``
+console script) drives the framework itself rather than the paper
+artifacts:
+
+* ``feam matrix`` -- batch-evaluate a set of binaries against every
+  paper site through the cached :class:`~repro.core.engine.\
+EvaluationEngine`, printing the readiness grid and cache statistics.
 """
 
 from __future__ import annotations
@@ -63,7 +71,69 @@ _EXPERIMENTAL = {
 }
 
 
+def feam_main(argv: Optional[list[str]] = None) -> int:
+    """The ``feam`` tool: drive the framework (not the paper artifacts)."""
+    parser = argparse.ArgumentParser(
+        prog="feam",
+        description="Drive FEAM: batch readiness evaluation.")
+    sub = parser.add_subparsers(dest="command", required=True)
+    matrix = sub.add_parser(
+        "matrix",
+        help="batch-evaluate binaries x sites through the evaluation "
+             "engine and print the readiness grid plus cache statistics")
+    matrix.add_argument(
+        "--seed", type=int, default=20130101,
+        help="world seed (default: 20130101)")
+    matrix.add_argument(
+        "--binaries", type=int, default=4,
+        help="how many test binaries to compile (one per site, "
+             "round-robin; default: 4)")
+    matrix.add_argument(
+        "--extended", action="store_true",
+        help="also run source phases and evaluate in extended mode")
+    matrix.add_argument(
+        "--workers", type=int, default=None,
+        help="thread-pool size for the per-site planner")
+    args = parser.parse_args(argv)
+    if args.command == "matrix":
+        return _feam_matrix(args)
+    return 2  # pragma: no cover - argparse enforces the choices
+
+
+def _feam_matrix(args) -> int:
+    from repro.core.engine import EngineBinary, EvaluationEngine
+    from repro.core.feam import Feam
+    from repro.sites.catalog import build_paper_sites
+    from repro.toolchain.compilers import Language
+
+    print("building the paper's five sites...", file=sys.stderr)
+    sites = build_paper_sites(args.seed, cached=False)
+    engine = EvaluationEngine(max_workers=args.workers)
+    feam = Feam(engine=engine)
+    binaries: list[EngineBinary] = []
+    bundles = {}
+    for index in range(max(1, args.binaries)):
+        site = sites[index % len(sites)]
+        stack = site.stacks[index % len(site.stacks)]
+        name = f"app-{site.name}-{stack.spec.slug}-{index}"
+        linked = site.compile_mpi_program(name, Language.FORTRAN, stack)
+        binaries.append(EngineBinary(binary_id=name, image=linked.image))
+        if args.extended:
+            path = f"/home/user/{name}"
+            site.machine.fs.write(path, linked.image, mode=0o755)
+            bundles[name] = feam.run_source_phase(
+                site, path, env=site.env_with_stack(stack))
+    print(f"evaluating {len(binaries)} binaries x {len(sites)} sites...",
+          file=sys.stderr)
+    result = engine.evaluate_matrix(binaries, sites, bundles=bundles or None)
+    print(result.render())
+    return 0
+
+
 def main(argv: Optional[list[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "feam":
+        return feam_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate the FEAM paper's tables and figures.")

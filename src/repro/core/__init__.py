@@ -14,6 +14,12 @@ components and two phases:
 * :mod:`repro.core.evaluation` -- the Target Evaluation Component (TEC):
   applies the four-determinant prediction model (Figure 1), tests MPI
   stacks with hello-world programs, and applies the resolution model.
+* :mod:`repro.core.determinants` -- the pluggable determinant pipeline
+  the TEC delegates to: one check class per determinant, a registry with
+  the paper's order and short-circuit semantics, tri-state outcomes.
+* :mod:`repro.core.engine` -- the batch evaluation engine: content-
+  addressed description/discovery caches, per-cell memoisation with
+  hit/miss counters, and the parallel binaries x sites matrix planner.
 * :mod:`repro.core.resolution` -- the resolution model (Section IV):
   recursive usability analysis of library copies and runtime staging.
 * :mod:`repro.core.feam` -- the orchestrator: the optional *source phase*
@@ -36,31 +42,59 @@ from repro.core.discovery import (
     EnvironmentDescription,
     EnvironmentDiscoveryComponent,
 )
+from repro.core.determinants import (
+    DeterminantCheck,
+    DeterminantContext,
+    DeterminantRegistry,
+    default_registry,
+)
 from repro.core.prediction import (
     Determinant,
     DeterminantResult,
+    Outcome,
     Prediction,
     PredictionMode,
 )
 from repro.core.resolution import CopyDecision, ResolutionModel, ResolutionPlan
 from repro.core.bundle import SourceBundle
 from repro.core.bundlefile import pack_bundle, unpack_bundle
-from repro.core.evaluation import TargetEvaluationComponent, TargetReport
+from repro.core.evaluation import (
+    CellCacheInfo,
+    TargetEvaluationComponent,
+    TargetReport,
+)
+from repro.core.engine import (
+    CacheStats,
+    EngineBinary,
+    EvaluationEngine,
+    MatrixCell,
+    MatrixResult,
+)
 from repro.core.feam import Feam
 from repro.core.survey import SiteVerdict, SurveyResult, survey_sites
 
 __all__ = [
     "BinaryDescription",
     "BinaryDescriptionComponent",
+    "CacheStats",
+    "CellCacheInfo",
     "CopyDecision",
     "Determinant",
+    "DeterminantCheck",
+    "DeterminantContext",
+    "DeterminantRegistry",
     "DeterminantResult",
     "DiscoveredStack",
+    "EngineBinary",
+    "EvaluationEngine",
     "EnvironmentDescription",
     "EnvironmentDiscoveryComponent",
     "Feam",
     "FeamConfig",
     "LibraryRecord",
+    "MatrixCell",
+    "MatrixResult",
+    "Outcome",
     "Prediction",
     "PredictionMode",
     "ResolutionModel",
@@ -70,6 +104,7 @@ __all__ = [
     "SurveyResult",
     "TargetEvaluationComponent",
     "TargetReport",
+    "default_registry",
     "identify_mpi_implementation",
     "pack_bundle",
     "survey_sites",

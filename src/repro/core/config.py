@@ -35,6 +35,19 @@ class FeamConfig:
     staging_root: str = "/home/user/feam/stage"
     #: Where FEAM writes its output files.
     output_root: str = "/home/user/feam/out"
+    #: Timing model of FEAM's own (scheduler-visible) work, in seconds.
+    #: Fixed target-phase overhead (description + discovery bookkeeping).
+    feam_base_seconds: float = 10.0
+    #: Added per NEEDED entry of the binary being described.
+    feam_seconds_per_dependency: float = 0.2
+    #: One hello-world functional test of a candidate MPI stack.
+    stack_assessment_seconds: float = 25.0
+    #: Per-library loader-visibility check.
+    library_check_seconds: float = 0.5
+    #: Per-library resolution-model analysis and staging.
+    resolution_seconds_per_library: float = 2.0
+    #: Post-resolution retest of the imported hello-world.
+    hello_retest_seconds: float = 20.0
 
     def mpiexec_for(self, mpi_type: Optional[str]) -> str:
         """The launch command for an MPI type (Section V.C default)."""
@@ -48,7 +61,10 @@ class FeamConfig:
 
         Recognised keys: ``serial_queue``, ``parallel_queue``,
         ``hello_nprocs``, ``max_resolution_depth``, ``staging_root``,
-        ``output_root``, and ``mpiexec.<MPI type>`` overrides.
+        ``output_root``, the timing-model keys (``feam_base_seconds``,
+        ``feam_seconds_per_dependency``, ``stack_assessment_seconds``,
+        ``library_check_seconds``, ``resolution_seconds_per_library``,
+        ``hello_retest_seconds``), and ``mpiexec.<MPI type>`` overrides.
         """
         kwargs: dict = {}
         overrides: dict[str, str] = {}
@@ -67,6 +83,11 @@ class FeamConfig:
                 kwargs[key] = value
             elif key in ("hello_nprocs", "max_resolution_depth"):
                 kwargs[key] = int(value)
+            elif key in ("feam_base_seconds", "feam_seconds_per_dependency",
+                         "stack_assessment_seconds", "library_check_seconds",
+                         "resolution_seconds_per_library",
+                         "hello_retest_seconds"):
+                kwargs[key] = float(value)
             else:
                 raise ValueError(f"config line {lineno}: unknown key {key!r}")
         if overrides:
@@ -82,6 +103,13 @@ class FeamConfig:
             f"max_resolution_depth = {self.max_resolution_depth}",
             f"staging_root = {self.staging_root}",
             f"output_root = {self.output_root}",
+            f"feam_base_seconds = {self.feam_base_seconds}",
+            f"feam_seconds_per_dependency = {self.feam_seconds_per_dependency}",
+            f"stack_assessment_seconds = {self.stack_assessment_seconds}",
+            f"library_check_seconds = {self.library_check_seconds}",
+            f"resolution_seconds_per_library = "
+            f"{self.resolution_seconds_per_library}",
+            f"hello_retest_seconds = {self.hello_retest_seconds}",
         ]
         for mpi_type, command in sorted(self.mpiexec_overrides.items()):
             lines.append(f"mpiexec.{mpi_type} = {command}")

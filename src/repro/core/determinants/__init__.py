@@ -1,0 +1,37 @@
+"""The pluggable determinant pipeline (paper Section III, Figure 1).
+
+Each of the paper's four determinants is a self-contained check class
+implementing the :class:`DeterminantCheck` protocol; a
+:class:`DeterminantRegistry` runs them in the paper's evaluation order
+(ISA -> C library -> MPI stack -> shared libraries) with the paper's
+short-circuit semantics: a check whose declared dependencies failed (or
+were themselves skipped) is not evaluated at all.
+
+Custom checks plug in through :meth:`DeterminantRegistry.register`; their
+results carry a plain string key and flow through
+:class:`~repro.core.prediction.Prediction` and the report renderer like
+the built-in four.
+"""
+
+from repro.core.determinants.base import (
+    DeterminantCheck,
+    DeterminantContext,
+    DeterminantRegistry,
+    default_registry,
+)
+from repro.core.determinants.isa import IsaCheck, isa_compatible
+from repro.core.determinants.libc import CLibraryCheck
+from repro.core.determinants.libraries import SharedLibrariesCheck
+from repro.core.determinants.mpi import MpiStackCheck
+
+__all__ = [
+    "CLibraryCheck",
+    "DeterminantCheck",
+    "DeterminantContext",
+    "DeterminantRegistry",
+    "IsaCheck",
+    "MpiStackCheck",
+    "SharedLibrariesCheck",
+    "default_registry",
+    "isa_compatible",
+]

@@ -1,0 +1,153 @@
+"""Determinant pipeline plumbing: context, protocol, registry."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import TYPE_CHECKING, Optional, Protocol, runtime_checkable
+
+from repro.core.prediction import DeterminantResult, Outcome, PredictionMode
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.bundle import SourceBundle
+    from repro.core.config import FeamConfig
+    from repro.core.description import BinaryDescription
+    from repro.core.discovery import DiscoveredStack, EnvironmentDescription
+    from repro.core.evaluation import TargetEvaluationComponent
+    from repro.core.prediction import StackAssessment
+    from repro.core.resolution import ResolutionPlan
+    from repro.sysmodel.env import Environment
+
+
+@dataclasses.dataclass
+class DeterminantContext:
+    """Everything one evaluation run shares between determinant checks.
+
+    The immutable inputs (description, bundle, environment, config) sit
+    next to the mutable evaluation state the checks build up: the
+    selected stack, the composed runtime environment, the resolution
+    plan, the accumulated reasons and FEAM's simulated cost.  Checks may
+    also *amend* an earlier check's result (e.g. ``ldd -v`` during the
+    shared-library check uncovering a deeper C-library incompatibility),
+    which preserves the original's position in the report.
+    """
+
+    description: "BinaryDescription"
+    environment: "EnvironmentDescription"
+    config: "FeamConfig"
+    services: "TargetEvaluationComponent"
+    mode: PredictionMode = PredictionMode.BASIC
+    binary_path: Optional[str] = None
+    bundle: Optional["SourceBundle"] = None
+    staging_tag: str = "default"
+
+    # -- mutable evaluation state, built up by the checks --
+    env: Optional["Environment"] = None
+    selected: Optional["DiscoveredStack"] = None
+    assessments: list = dataclasses.field(default_factory=list)
+    resolution: Optional["ResolutionPlan"] = None
+    missing: list = dataclasses.field(default_factory=list)
+    unsatisfied: list = dataclasses.field(default_factory=list)
+    reasons: list = dataclasses.field(default_factory=list)
+    feam_seconds: float = 0.0
+    #: True when the post-resolution imported-hello retest condemned the
+    #: selected stack (the paper's extended-mode early exit).
+    retest_failed: bool = False
+    #: Ordered results by key; amending an existing key keeps its slot.
+    results: dict = dataclasses.field(default_factory=dict)
+
+    def add_reason(self, reason: str) -> None:
+        self.reasons.append(reason)
+
+    def amend(self, key: str, result: DeterminantResult) -> None:
+        """Replace an earlier result in place (position preserved)."""
+        self.results[key] = result
+
+    def outcome_of(self, key: str) -> Optional[Outcome]:
+        result = self.results.get(key)
+        return result.outcome if result is not None else None
+
+
+@runtime_checkable
+class DeterminantCheck(Protocol):
+    """One pluggable determinant check.
+
+    *key* is the stable identifier results and reports use; *depends_on*
+    lists the keys that must not have failed (nor been skipped) for this
+    check to run.  ``run`` returns the check's result, or ``None`` to
+    record nothing (used by checks that instead amend earlier results).
+    """
+
+    key: str
+    depends_on: tuple[str, ...]
+
+    def run(self, ctx: DeterminantContext) -> Optional[DeterminantResult]:
+        ...  # pragma: no cover - protocol
+
+
+class RegistryError(ValueError):
+    """A check could not be registered (duplicate key, unknown dependency)."""
+
+
+class DeterminantRegistry:
+    """An ordered collection of determinant checks.
+
+    Registration order is evaluation order; a check can only depend on
+    keys registered before it, which makes the short-circuit semantics a
+    single forward pass.
+    """
+
+    def __init__(self, checks: tuple = ()) -> None:
+        self._checks: list[DeterminantCheck] = []
+        for check in checks:
+            self.register(check)
+
+    def register(self, check: DeterminantCheck) -> None:
+        if check.key in self.keys:
+            raise RegistryError(f"duplicate determinant key {check.key!r}")
+        missing = [d for d in check.depends_on if d not in self.keys]
+        if missing:
+            raise RegistryError(
+                f"check {check.key!r} depends on unregistered "
+                f"determinant(s): {', '.join(missing)}")
+        self._checks.append(check)
+
+    @property
+    def checks(self) -> tuple:
+        return tuple(self._checks)
+
+    @property
+    def keys(self) -> tuple[str, ...]:
+        return tuple(check.key for check in self._checks)
+
+    def run(self, ctx: DeterminantContext) -> tuple[DeterminantResult, ...]:
+        """Run every check in order with short-circuit gating.
+
+        A check is skipped (producing no result at all, like the paper's
+        "stop with detailed reasons") when any of its dependencies failed
+        or was itself skipped.  Unknown outcomes do *not* gate: the paper
+        only stops on a determined incompatibility.
+        """
+        skipped: set[str] = set()
+        for check in self._checks:
+            blocked = any(
+                dep in skipped or ctx.outcome_of(dep) is Outcome.FAIL
+                for dep in check.depends_on)
+            if blocked:
+                skipped.add(check.key)
+                continue
+            result = check.run(ctx)
+            if result is not None:
+                ctx.results[check.key] = result
+        return tuple(ctx.results.values())
+
+
+def default_registry() -> DeterminantRegistry:
+    """The paper's pipeline: ISA -> C library -> MPI -> shared libraries."""
+    from repro.core.determinants.isa import IsaCheck
+    from repro.core.determinants.libc import CLibraryCheck
+    from repro.core.determinants.libraries import SharedLibrariesCheck
+    from repro.core.determinants.mpi import MpiStackCheck
+
+    return DeterminantRegistry(
+        (IsaCheck(), CLibraryCheck(), MpiStackCheck(),
+         SharedLibrariesCheck()))

@@ -1,0 +1,41 @@
+"""Determinant 1: ISA compatibility (paper Section III.A)."""
+
+from __future__ import annotations
+
+from repro.core.determinants.base import DeterminantContext
+from repro.core.prediction import Determinant, DeterminantResult, Outcome
+
+#: ISA compatibility: uname -p value -> (objdump arch, bits) it executes.
+_ISA_ACCEPTS: dict[str, frozenset[tuple[str, int]]] = {
+    "x86_64": frozenset({("x86-64", 64), ("i386", 32)}),
+    "i686": frozenset({("i386", 32)}),
+    "ppc64": frozenset({("powerpc64", 64), ("powerpc", 32)}),
+    "ia64": frozenset({("ia64", 64)}),
+    "sparc64": frozenset({("sparcv9", 64), ("sparc", 32)}),
+}
+
+
+def isa_compatible(binary_isa: str, binary_bits: int, target_isa: str) -> bool:
+    """Determinant 1: can the target's hardware execute this format?"""
+    accepted = _ISA_ACCEPTS.get(target_isa)
+    if accepted is None:
+        return binary_isa == target_isa
+    return (binary_isa, binary_bits) in accepted
+
+
+class IsaCheck:
+    """Was the binary compiled for an ISA the target executes?"""
+
+    key = Determinant.ISA.value
+    depends_on: tuple[str, ...] = ()
+
+    def run(self, ctx: DeterminantContext) -> DeterminantResult:
+        description = ctx.description
+        ok = isa_compatible(
+            description.isa_name, description.bits, ctx.environment.isa)
+        if not ok:
+            ctx.add_reason("incompatible ISA")
+        return DeterminantResult(
+            Determinant.ISA, Outcome.PASS if ok else Outcome.FAIL,
+            f"binary {description.isa_name}/{description.bits}-bit, "
+            f"target {ctx.environment.isa}")

@@ -1,0 +1,43 @@
+"""Determinant 3, checked second per Section V.C: C library version."""
+
+from __future__ import annotations
+
+from repro.core.determinants.base import DeterminantContext
+from repro.core.prediction import Determinant, DeterminantResult, Outcome
+
+
+class CLibraryCheck:
+    """Is the target's C library at least the binary's required version?
+
+    Runs even when the ISA check failed (the paper reports both gates'
+    reasons together), hence the empty dependency list.  When the site's
+    libc version cannot be determined the outcome is UNKNOWN -- reported
+    as such, never as a pass -- but it does not stop the pipeline: only a
+    determined incompatibility does.
+    """
+
+    key = Determinant.C_LIBRARY.value
+    depends_on: tuple[str, ...] = ()
+
+    def run(self, ctx: DeterminantContext) -> DeterminantResult:
+        description = ctx.description
+        environment = ctx.environment
+        required = description.required_glibc_tuple
+        available = environment.libc_version_tuple
+        if required and available:
+            outcome = Outcome.PASS if required <= available else Outcome.FAIL
+        elif required and not available:
+            # Could not determine the site's libc version.
+            outcome = Outcome.UNKNOWN
+        else:
+            outcome = Outcome.PASS
+        detail = (
+            f"binary requires GLIBC_{description.required_glibc or '?'}, "
+            f"target has {environment.libc_version or 'unknown'}")
+        if outcome is Outcome.UNKNOWN:
+            detail += " (site libc version undeterminable)"
+        if outcome is Outcome.FAIL:
+            ctx.add_reason(
+                f"C library too old (needs {description.required_glibc}, "
+                f"site has {environment.libc_version})")
+        return DeterminantResult(Determinant.C_LIBRARY, outcome, detail)

@@ -1,0 +1,121 @@
+"""Determinant 4: shared-library availability (paper Sections III.C, V.C).
+
+This check also owns the two cross-determinant amendments of the paper's
+flow: ``ldd -v`` discovering unsatisfied GLIBC symbol versions demotes
+the earlier C-library result to FAIL, and the post-resolution retest of
+the imported hello-world condemning the selected stack demotes the MPI
+result to FAIL (in which case no shared-library result is recorded --
+the evaluation stops, as in the paper's early exit).
+"""
+
+from __future__ import annotations
+
+import posixpath
+from typing import Optional
+
+from repro.core.determinants.base import DeterminantContext
+from repro.core.prediction import Determinant, DeterminantResult, Outcome
+from repro.core.resolution import ResolutionModel
+
+
+class SharedLibrariesCheck:
+    """Is every required shared library loader-visible, versions satisfied?"""
+
+    key = Determinant.SHARED_LIBRARIES.value
+    depends_on = (Determinant.MPI_STACK.value,)
+
+    def run(self, ctx: DeterminantContext) -> Optional[DeterminantResult]:
+        tec = ctx.services
+        edc = tec.edc
+        env = (edc.env_for_stack(ctx.selected) if ctx.selected is not None
+               else tec.toolbox.machine.env.copy())
+        ctx.env = env
+        missing, unsatisfied = edc.missing_libraries(
+            ctx.description, env, binary_path=ctx.binary_path)
+        ctx.feam_seconds += (
+            ctx.config.library_check_seconds * len(ctx.description.needed))
+        glibc_unsatisfied = [(lib, v) for lib, v in unsatisfied
+                             if v.startswith("GLIBC_")]
+        other_unsatisfied = [(lib, v) for lib, v in unsatisfied
+                             if not v.startswith("GLIBC_")]
+        if glibc_unsatisfied:
+            # Deeper C-library incompatibility discovered via ldd -v.
+            ctx.amend(Determinant.C_LIBRARY.value, DeterminantResult(
+                Determinant.C_LIBRARY, Outcome.FAIL,
+                "unsatisfied GLIBC version references: " + ", ".join(
+                    f"{v} from {lib}" for lib, v in glibc_unsatisfied)))
+            ctx.add_reason("unsatisfied GLIBC symbol versions")
+
+        resolution = None
+        to_resolve = list(dict.fromkeys(
+            missing + [lib for lib, _v in other_unsatisfied]))
+        if to_resolve and ctx.bundle is not None and not glibc_unsatisfied:
+            resolver = ResolutionModel(tec.toolbox, ctx.environment,
+                                       ctx.config)
+            staging_dir = posixpath.join(
+                ctx.config.staging_root, ctx.staging_tag)
+            resolution = resolver.resolve(
+                to_resolve, ctx.bundle, env, staging_dir)
+            ctx.feam_seconds += (
+                ctx.config.resolution_seconds_per_library * len(to_resolve))
+            if resolution.staged:
+                for var, path in resolution.env_additions:
+                    env.prepend_path(var, path)
+                missing, unsatisfied = edc.missing_libraries(
+                    ctx.description, env, binary_path=ctx.binary_path)
+                other_unsatisfied = [(lib, v) for lib, v in unsatisfied
+                                     if not v.startswith("GLIBC_")]
+        ctx.resolution = resolution
+        ctx.missing = list(missing)
+        ctx.unsatisfied = list(unsatisfied)
+
+        shared_ok = (not missing and not other_unsatisfied
+                     and not glibc_unsatisfied)
+
+        # Extended compatibility re-test: when the imported hello-world was
+        # inconclusive (its own libraries were missing pre-resolution), run
+        # it again in the final environment to expose ABI/floating-point
+        # incompatibilities between the build stack and the selected stack.
+        if (shared_ok and ctx.selected is not None and ctx.bundle is not None
+                and ctx.bundle.hello is not None):
+            selected_assessment = next(
+                (a for a in ctx.assessments if a.stack is ctx.selected), None)
+            # Retest when the earlier probe was inconclusive OR when
+            # resolution changed the runtime environment (staged copies
+            # alter which MPI/runtime libraries actually load).
+            needs_retest = (
+                (selected_assessment is not None
+                 and selected_assessment.imported_hello_ok is None)
+                or (resolution is not None and bool(resolution.staged)))
+            if needs_retest:
+                retest_ok, failure_detail = tec.run_imported_hello(
+                    ctx.selected, ctx.bundle, env,
+                    staging_dir=posixpath.join(
+                        ctx.config.staging_root, ctx.staging_tag))
+                ctx.feam_seconds += ctx.config.hello_retest_seconds
+                if retest_ok is False:
+                    ctx.amend(Determinant.MPI_STACK.value, DeterminantResult(
+                        Determinant.MPI_STACK, Outcome.FAIL,
+                        f"imported hello-world fails on "
+                        f"{ctx.selected.label}: {failure_detail}"))
+                    ctx.add_reason(
+                        "guaranteed-environment hello-world is incompatible "
+                        "with the selected stack")
+                    ctx.retest_failed = True
+                    return None
+
+        detail_parts = []
+        if missing:
+            detail_parts.append("missing: " + ", ".join(missing))
+        if other_unsatisfied:
+            detail_parts.append("unsatisfied versions: " + ", ".join(
+                f"{v} from {lib}" for lib, v in other_unsatisfied))
+        if missing:
+            ctx.add_reason(
+                "missing shared libraries: " + ", ".join(missing))
+        if other_unsatisfied:
+            ctx.add_reason("incompatible shared library versions")
+        return DeterminantResult(
+            Determinant.SHARED_LIBRARIES,
+            Outcome.PASS if shared_ok else Outcome.FAIL,
+            "; ".join(detail_parts) or "all shared libraries available")

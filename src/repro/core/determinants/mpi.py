@@ -1,0 +1,55 @@
+"""Determinant 2: MPI stack compatibility (paper Sections III.B, V.C)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.determinants.base import DeterminantContext
+from repro.core.prediction import Determinant, DeterminantResult, Outcome
+
+
+class MpiStackCheck:
+    """Is a usable stack of the same MPI implementation type available?
+
+    Candidates of the binary's implementation type are functionally
+    tested (native hello-world compile+run, plus the imported
+    guaranteed-environment probe in extended mode) in preference order --
+    the binary's own compiler family first -- until one passes; the
+    selected stack and every assessment land in the context for the
+    shared-library check and the report.
+    """
+
+    key = Determinant.MPI_STACK.value
+    depends_on = (Determinant.ISA.value, Determinant.C_LIBRARY.value)
+
+    def run(self, ctx: DeterminantContext) -> Optional[DeterminantResult]:
+        mpi_type = ctx.description.mpi_implementation
+        if mpi_type is None:
+            return DeterminantResult(
+                Determinant.MPI_STACK, Outcome.PASS,
+                "binary does not appear to be an MPI application")
+        candidates = ctx.environment.stacks_of_kind(mpi_type)
+        if not candidates:
+            ctx.add_reason(
+                f"no matching MPI implementation ({mpi_type}) at the site")
+            return DeterminantResult(
+                Determinant.MPI_STACK, Outcome.FAIL,
+                f"no {mpi_type} stack available")
+        for candidate in ctx.services.order_candidates(
+                candidates, ctx.description):
+            assessment = ctx.services.assess_stack(candidate, ctx.bundle)
+            ctx.assessments.append(assessment)
+            ctx.feam_seconds += ctx.config.stack_assessment_seconds
+            if assessment.usable:
+                ctx.selected = candidate
+                break
+        if ctx.selected is None:
+            ctx.add_reason(
+                f"no usable {mpi_type} stack (hello-world tests failed)")
+            return DeterminantResult(
+                Determinant.MPI_STACK, Outcome.FAIL,
+                f"{len(candidates)} {mpi_type} stack(s) found but none "
+                f"passed the functional tests")
+        return DeterminantResult(
+            Determinant.MPI_STACK, Outcome.PASS,
+            f"selected {ctx.selected.label}")

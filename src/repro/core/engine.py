@@ -1,0 +1,405 @@
+"""The batch evaluation engine: content-addressed, cached, parallel.
+
+The paper evaluates one (binary, site) pair at a time; a production
+deployment evaluates a *matrix* -- many binaries against many sites,
+continuously (CODE-RADE-style cross-site validation).  The engine makes
+that cheap:
+
+* **Content addressing.**  Binary descriptions are keyed by the SHA-256
+  of the ELF image (``repro.util.hashing.content_digest``); site
+  environments by a fingerprint digest over the discovered description
+  (``stable_digest``).  Identical bytes are never described twice,
+  identical environments never re-discovered.
+* **Memoisation.**  Three cache layers -- description per binary,
+  discovery per site, full evaluation per (site fingerprint, binary,
+  bundle, staging tag) cell -- each with hit/miss counters
+  (:class:`CacheStats`), surfaced per cell via
+  :class:`~repro.core.evaluation.CellCacheInfo` in the report.
+* **Parallel planning.**  :meth:`EvaluationEngine.evaluate_matrix` groups
+  cells by site and runs one worker per site in a
+  ``ThreadPoolExecutor`` -- sites are independent simulated machines, so
+  per-site serialisation keeps results deterministic while the matrix
+  spreads across cores.
+
+Invalidation: :meth:`EvaluationEngine.refresh_site` re-discovers a site
+and, when the environment fingerprint changed, drops that site's cached
+discovery and evaluation cells (descriptions are content-addressed and
+stay valid).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import posixpath
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Iterable, Optional, Sequence, Union
+
+from repro.core.bundle import SourceBundle
+from repro.core.config import FeamConfig
+from repro.core.description import (
+    BinaryDescription,
+    BinaryDescriptionComponent,
+)
+from repro.core.determinants import DeterminantRegistry
+from repro.core.evaluation import (
+    CellCacheInfo,
+    TargetEvaluationComponent,
+    TargetReport,
+)
+from repro.util.hashing import content_digest, stable_digest
+
+#: Where the engine stages binaries it migrates to a site itself.
+_MIGRATION_ROOT = "/home/user/migrated"
+
+
+@dataclasses.dataclass
+class CacheStats:
+    """Hit/miss counters for the engine's three cache layers."""
+
+    description_hits: int = 0
+    description_misses: int = 0
+    discovery_hits: int = 0
+    discovery_misses: int = 0
+    evaluation_hits: int = 0
+    evaluation_misses: int = 0
+
+    def snapshot(self) -> "CacheStats":
+        return dataclasses.replace(self)
+
+    def render(self) -> str:
+        return (f"description {self.description_hits}/"
+                f"{self.description_hits + self.description_misses} hit, "
+                f"discovery {self.discovery_hits}/"
+                f"{self.discovery_hits + self.discovery_misses} hit, "
+                f"evaluation {self.evaluation_hits}/"
+                f"{self.evaluation_hits + self.evaluation_misses} hit")
+
+
+@dataclasses.dataclass(frozen=True)
+class EngineBinary:
+    """One binary submitted to the batch engine."""
+
+    binary_id: str
+    image: bytes
+    bundle: Optional[SourceBundle] = None
+
+
+@dataclasses.dataclass(frozen=True)
+class MatrixCell:
+    """One evaluated (binary, site) pair."""
+
+    binary_id: str
+    site_name: str
+    report: TargetReport
+
+    @property
+    def ready(self) -> bool:
+        return self.report.ready
+
+
+@dataclasses.dataclass
+class MatrixResult:
+    """The full matrix evaluation with the engine's cache statistics."""
+
+    cells: list[MatrixCell]
+    stats: CacheStats
+
+    def cell(self, binary_id: str, site_name: str) -> Optional[MatrixCell]:
+        for cell in self.cells:
+            if cell.binary_id == binary_id and cell.site_name == site_name:
+                return cell
+        return None
+
+    def render(self) -> str:
+        """A readiness grid (binaries x sites) plus cache statistics."""
+        binaries = list(dict.fromkeys(c.binary_id for c in self.cells))
+        sites = list(dict.fromkeys(c.site_name for c in self.cells))
+        by_key = {(c.binary_id, c.site_name): c for c in self.cells}
+        id_width = max([len(b) for b in binaries] + [6])
+        lines = ["READINESS MATRIX (rows: binaries, columns: sites)", ""]
+        header = " " * id_width
+        for site in sites:
+            header += f"  {site[:12]:>12}"
+        lines.append(header)
+        for binary_id in binaries:
+            row = f"{binary_id:<{id_width}}"
+            for site in sites:
+                cell = by_key.get((binary_id, site))
+                word = ("-" if cell is None
+                        else "ready" if cell.ready else "no")
+                row += f"  {word:>12}"
+            lines.append(row)
+        lines.append("")
+        lines.append(f"cache: {self.stats.render()}")
+        return "\n".join(lines) + "\n"
+
+
+def bundle_digest(bundle: SourceBundle) -> str:
+    """A content digest identifying a source-phase bundle.
+
+    Derived from the described binary, the gathered library records and
+    the hello probes -- everything that can change a target phase's
+    outcome.
+    """
+    parts: list = [
+        bundle.description.path,
+        bundle.description.isa_name,
+        bundle.description.bits,
+        bundle.description.required_glibc,
+        bundle.description.mpi_implementation,
+        ",".join(bundle.description.needed),
+        bundle.created_at,
+    ]
+    for record in bundle.libraries:
+        parts.extend((record.soname, record.located_path,
+                      record.copy_size, record.copied))
+    if bundle.hello is not None:
+        for language in sorted(bundle.hello.images):
+            parts.append(language)
+            parts.append(content_digest(bundle.hello.images[language]))
+    return stable_digest(*parts)
+
+
+def environment_fingerprint(environment) -> str:
+    """The content-address of a discovered site environment.
+
+    Covers every discovery output a determinant reads; when any of it
+    changes, cached evaluations against the old fingerprint are invalid.
+    """
+    parts: list = [
+        environment.hostname, environment.isa, environment.os_type,
+        environment.os_version, environment.distro,
+        environment.libc_version, environment.libc_path,
+        environment.env_tool, ",".join(environment.loaded_stacks),
+    ]
+    for stack in environment.stacks:
+        parts.extend((stack.label, stack.kind, stack.version,
+                      stack.compiler_family, stack.compiler_version,
+                      stack.prefix, stack.via))
+    return stable_digest(*parts)
+
+
+class EvaluationEngine:
+    """Cached, batched execution-readiness evaluation across sites.
+
+    One engine owns one TEC per site (discovery runs once per site), a
+    content-addressed description cache shared across sites, and a
+    per-cell evaluation cache.  All caches are thread-safe; the matrix
+    planner parallelises across sites only, so each simulated site is
+    always driven from a single thread.
+    """
+
+    def __init__(self, config: Optional[FeamConfig] = None,
+                 registry: Optional[DeterminantRegistry] = None,
+                 max_workers: Optional[int] = None) -> None:
+        self.config = config or FeamConfig()
+        self.registry = registry
+        self.max_workers = max_workers
+        self.stats = CacheStats()
+        self._lock = threading.Lock()
+        self._tecs: dict[str, TargetEvaluationComponent] = {}
+        self._fingerprints: dict[str, str] = {}
+        #: (image digest, described path) -> description
+        self._descriptions: dict[tuple[str, str], BinaryDescription] = {}
+        #: cell key -> report
+        self._reports: dict[tuple, TargetReport] = {}
+
+    # -- per-site services ---------------------------------------------------------
+
+    def tec_for(self, site) -> TargetEvaluationComponent:
+        """The (cached) TEC for a site."""
+        with self._lock:
+            tec = self._tecs.get(site.name)
+            if tec is None:
+                tec = TargetEvaluationComponent(
+                    site, self.config, registry=self.registry)
+                self._tecs[site.name] = tec
+            return tec
+
+    def _discover(self, site) -> tuple[object, bool]:
+        """(environment description, was it a cache hit)."""
+        tec = self.tec_for(site)
+        hit = tec._environment is not None
+        environment = tec.environment()
+        with self._lock:
+            if hit:
+                self.stats.discovery_hits += 1
+            else:
+                self.stats.discovery_misses += 1
+            if site.name not in self._fingerprints:
+                self._fingerprints[site.name] = \
+                    environment_fingerprint(environment)
+        return environment, hit
+
+    def fingerprint_for(self, site) -> str:
+        """The content-address of the site's (cached) environment."""
+        self._discover(site)
+        return self._fingerprints[site.name]
+
+    def refresh_site(self, site) -> bool:
+        """Re-discover a site; drop its caches if the fingerprint changed.
+
+        Returns True when the environment changed.  Descriptions are
+        content-addressed and survive; the site's evaluation cells do not.
+        """
+        old = self._fingerprints.get(site.name)
+        tec = self.tec_for(site)
+        tec.invalidate_environment()
+        with self._lock:
+            self.stats.discovery_misses += 1
+        new = environment_fingerprint(tec.environment())
+        with self._lock:
+            self._fingerprints[site.name] = new
+            changed = old is not None and old != new
+            if changed:
+                self._reports = {
+                    key: report for key, report in self._reports.items()
+                    if key[0] != site.name}
+        return changed
+
+    # -- description cache -----------------------------------------------------------
+
+    def describe(self, site, binary_path: str,
+                 image: Optional[bytes] = None,
+                 ) -> tuple[BinaryDescription, bool]:
+        """Describe the binary at *binary_path*, content-addressed.
+
+        Returns (description, was it a cache hit).  The cache key is the
+        image digest plus the described path, so a cached description's
+        ``path`` field is always accurate; identical bytes at the same
+        path -- the batch-matrix case -- are described once, at whichever
+        site gets there first.
+        """
+        if image is None:
+            image = site.machine.fs.read(binary_path)
+        key = (content_digest(image), binary_path)
+        with self._lock:
+            cached = self._descriptions.get(key)
+            if cached is not None:
+                self.stats.description_hits += 1
+                return cached, True
+        bdc = BinaryDescriptionComponent(site.toolbox())
+        description = bdc.describe(binary_path)
+        with self._lock:
+            self._descriptions[key] = description
+            self.stats.description_misses += 1
+        return description, False
+
+    # -- cell evaluation ---------------------------------------------------------------
+
+    def evaluate_cell(self, site, binary_path: Optional[str] = None,
+                      image: Optional[bytes] = None,
+                      binary_id: Optional[str] = None,
+                      bundle: Optional[SourceBundle] = None,
+                      staging_tag: Optional[str] = None) -> TargetReport:
+        """Evaluate one (binary, site) cell through every cache layer.
+
+        The binary may be given as a path already present at the site, as
+        raw *image* bytes (the engine stages them under a content-derived
+        path), or implicitly via the *bundle* (both-phases mode, binary
+        not at the target).
+        """
+        if binary_path is None and image is None and bundle is None:
+            raise ValueError(
+                "evaluate_cell needs a binary path, image bytes, or a "
+                "source bundle")
+        if binary_path is None and image is not None:
+            name = binary_id or content_digest(image)[:16]
+            binary_path = posixpath.join(
+                _MIGRATION_ROOT, name.replace("/", "-"))
+            if not site.machine.fs.is_file(binary_path):
+                site.machine.fs.write(binary_path, image, mode=0o755)
+        if binary_path is not None and image is None:
+            image = site.machine.fs.read(binary_path)
+
+        _environment, discovery_hit = self._discover(site)
+        fingerprint = self._fingerprints[site.name]
+
+        description_hit = False
+        if binary_path is not None:
+            description, description_hit = self.describe(
+                site, binary_path, image=image)
+            digest = content_digest(image)
+        else:
+            assert bundle is not None
+            description = bundle.description
+            digest = bundle_digest(bundle)
+
+        tag = staging_tag or posixpath.basename(
+            binary_path or bundle.description.path).replace("/", "-")
+        key = (site.name, fingerprint, digest,
+               bundle_digest(bundle) if bundle is not None else None, tag)
+        with self._lock:
+            cached = self._reports.get(key)
+        if cached is not None:
+            with self._lock:
+                self.stats.evaluation_hits += 1
+            return dataclasses.replace(cached, cache=CellCacheInfo(
+                description_hit=True, discovery_hit=True,
+                evaluation_hit=True))
+
+        tec = self.tec_for(site)
+        report = tec.evaluate(description, binary_path=binary_path,
+                              bundle=bundle, staging_tag=tag)
+        report.cache = CellCacheInfo(
+            description_hit=description_hit,
+            discovery_hit=discovery_hit,
+            evaluation_hit=False)
+        with self._lock:
+            self.stats.evaluation_misses += 1
+            self._reports[key] = report
+        return report
+
+    # -- the matrix ----------------------------------------------------------------------
+
+    def evaluate_matrix(self, binaries: Sequence, sites: Sequence,
+                        bundles: Optional[dict] = None) -> MatrixResult:
+        """Evaluate every binary against every site, in parallel by site.
+
+        *binaries* holds :class:`EngineBinary` items or anything with
+        ``binary_id`` and ``image`` attributes (e.g. the corpus's
+        ``CompiledBinary``); *bundles* optionally maps binary ids to
+        source-phase bundles for extended-mode cells.
+        """
+        specs = [self._coerce(b, bundles) for b in binaries]
+        workers = self.max_workers or min(8, max(1, len(sites)))
+
+        def run_site(site) -> list[MatrixCell]:
+            cells = []
+            for spec in specs:
+                report = self.evaluate_cell(
+                    site, image=spec.image, binary_id=spec.binary_id,
+                    bundle=spec.bundle,
+                    staging_tag=f"{spec.binary_id}-{site.name}".replace(
+                        "/", "-"))
+                cells.append(MatrixCell(
+                    binary_id=spec.binary_id, site_name=site.name,
+                    report=report))
+            return cells
+
+        if len(sites) <= 1 or workers <= 1:
+            per_site = [run_site(site) for site in sites]
+        else:
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                per_site = list(pool.map(run_site, sites))
+        # Deterministic assembly: binary-major, site order as given.
+        cells = [per_site[s][b]
+                 for b in range(len(specs)) for s in range(len(sites))]
+        return MatrixResult(cells=cells, stats=self.stats.snapshot())
+
+    @staticmethod
+    def _coerce(binary, bundles: Optional[dict]) -> EngineBinary:
+        if isinstance(binary, EngineBinary):
+            spec = binary
+        elif isinstance(binary, tuple):
+            binary_id, image = binary
+            spec = EngineBinary(binary_id=binary_id, image=image)
+        else:
+            spec = EngineBinary(binary_id=binary.binary_id,
+                                image=binary.image)
+        if bundles and spec.bundle is None:
+            bundle = bundles.get(spec.binary_id)
+            if bundle is not None:
+                spec = dataclasses.replace(spec, bundle=bundle)
+        return spec

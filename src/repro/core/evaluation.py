@@ -17,6 +17,11 @@ whether execution can occur at a target site without recompilation"
 5. emit the verdict, the reasons, and a site-configuration activation
    script.
 
+The determinant logic itself lives in the pluggable pipeline under
+:mod:`repro.core.determinants`; the TEC provides the site-bound services
+the checks need (environment discovery, hello-world probes) and turns the
+pipeline's results into a :class:`TargetReport`.
+
 All of FEAM's own work runs through the site's batch scheduler (debug
 queue), which is how the paper measures its sub-five-minute cost.
 """
@@ -30,14 +35,19 @@ from typing import Optional
 from repro.core.bundle import SourceBundle
 from repro.core.config import FeamConfig
 from repro.core.description import BinaryDescription
+from repro.core.determinants import (
+    DeterminantContext,
+    DeterminantRegistry,
+    default_registry,
+    isa_compatible,  # noqa: F401  (re-exported for back-compat)
+)
 from repro.core.discovery import (
     DiscoveredStack,
     EnvironmentDescription,
     EnvironmentDiscoveryComponent,
 )
 from repro.core.prediction import (
-    Determinant,
-    DeterminantResult,
+    Outcome,
     Prediction,
     PredictionMode,
     StackAssessment,
@@ -46,23 +56,6 @@ from repro.core.resolution import ResolutionModel, ResolutionPlan
 from repro.sysmodel.env import Environment
 from repro.sysmodel.fs import FsError
 from repro.toolchain.compilers import Language
-
-#: ISA compatibility: uname -p value -> (objdump arch, bits) it executes.
-_ISA_ACCEPTS: dict[str, frozenset[tuple[str, int]]] = {
-    "x86_64": frozenset({("x86-64", 64), ("i386", 32)}),
-    "i686": frozenset({("i386", 32)}),
-    "ppc64": frozenset({("powerpc64", 64), ("powerpc", 32)}),
-    "ia64": frozenset({("ia64", 64)}),
-    "sparc64": frozenset({("sparcv9", 64), ("sparc", 32)}),
-}
-
-
-def isa_compatible(binary_isa: str, binary_bits: int, target_isa: str) -> bool:
-    """Determinant 1: can the target's hardware execute this format?"""
-    accepted = _ISA_ACCEPTS.get(target_isa)
-    if accepted is None:
-        return binary_isa == target_isa
-    return (binary_isa, binary_bits) in accepted
 
 
 def _loader_failure(detail: str) -> bool:
@@ -90,6 +83,23 @@ def _compiler_family_hint(description: BinaryDescription) -> Optional[str]:
     return None
 
 
+@dataclasses.dataclass(frozen=True)
+class CellCacheInfo:
+    """Which evaluation-engine caches served one (binary, site) cell."""
+
+    description_hit: bool = False
+    discovery_hit: bool = False
+    evaluation_hit: bool = False
+
+    def render(self) -> str:
+        def word(hit: bool) -> str:
+            return "hit" if hit else "miss"
+
+        return (f"description={word(self.description_hit)} "
+                f"discovery={word(self.discovery_hit)} "
+                f"evaluation={word(self.evaluation_hit)}")
+
+
 @dataclasses.dataclass
 class TargetReport:
     """Everything a target phase produces."""
@@ -103,6 +113,8 @@ class TargetReport:
     #: Simulated seconds of FEAM's own work (scheduler-visible).
     feam_seconds: float = 0.0
     output_path: Optional[str] = None
+    #: Engine cache provenance (None when evaluated outside the engine).
+    cache: Optional[CellCacheInfo] = None
 
     @property
     def ready(self) -> bool:
@@ -112,9 +124,12 @@ class TargetReport:
 class TargetEvaluationComponent:
     """The TEC, bound to one target site."""
 
-    def __init__(self, site, config: Optional[FeamConfig] = None) -> None:
+    def __init__(self, site, config: Optional[FeamConfig] = None,
+                 registry: Optional[DeterminantRegistry] = None) -> None:
         self.site = site
         self.config = config or FeamConfig()
+        self.registry = registry if registry is not None else \
+            default_registry()
         self.toolbox = site.toolbox()
         self.edc = EnvironmentDiscoveryComponent(self.toolbox)
         self._environment: Optional[EnvironmentDescription] = None
@@ -126,6 +141,10 @@ class TargetEvaluationComponent:
         if self._environment is None:
             self._environment = self.edc.discover()
         return self._environment
+
+    def invalidate_environment(self) -> None:
+        """Drop the cached discovery (the site's environment changed)."""
+        self._environment = None
 
     # -- hello-world stack tests ------------------------------------------------------
 
@@ -201,9 +220,9 @@ class TargetEvaluationComponent:
             stack=stack, native_hello_ok=native_ok,
             imported_hello_ok=imported_ok, notes="; ".join(notes))
 
-    def _order_candidates(self, candidates: list[DiscoveredStack],
-                          description: BinaryDescription,
-                          ) -> list[DiscoveredStack]:
+    def order_candidates(self, candidates: list[DiscoveredStack],
+                         description: BinaryDescription,
+                         ) -> list[DiscoveredStack]:
         """Prefer the binary's own compiler family, then stable order."""
         hint = _compiler_family_hint(description)
         return sorted(
@@ -216,210 +235,48 @@ class TargetEvaluationComponent:
                  binary_path: Optional[str] = None,
                  bundle: Optional[SourceBundle] = None,
                  staging_tag: str = "default") -> TargetReport:
-        """Run the full prediction (and resolution) for one binary."""
+        """Run the full prediction (and resolution) for one binary.
+
+        Delegates the determinant logic to the registry's pipeline; this
+        method only assembles the context, derives the verdict from the
+        pipeline's results and writes the report.
+        """
         mode = (PredictionMode.EXTENDED if bundle is not None
                 else PredictionMode.BASIC)
         environment = self.environment()
-        determinants: list[DeterminantResult] = []
-        reasons: list[str] = []
-        feam_seconds = 10.0 + 0.2 * len(description.needed)
-
-        # Determinant 1: ISA.
-        isa_ok = isa_compatible(
-            description.isa_name, description.bits, environment.isa)
-        determinants.append(DeterminantResult(
-            Determinant.ISA, isa_ok,
-            f"binary {description.isa_name}/{description.bits}-bit, "
-            f"target {environment.isa}"))
-        if not isa_ok:
-            reasons.append("incompatible ISA")
-
-        # Determinant 3 (checked before MPI per Section V.C): C library.
-        libc_ok: Optional[bool] = None
-        required = description.required_glibc_tuple
-        available = environment.libc_version_tuple
-        if required and available:
-            libc_ok = required <= available
-        elif required and not available:
-            libc_ok = None  # could not determine the site's libc version
-        else:
-            libc_ok = True
-        determinants.append(DeterminantResult(
-            Determinant.C_LIBRARY, libc_ok,
-            f"binary requires GLIBC_{description.required_glibc or '?'}, "
-            f"target has {environment.libc_version or 'unknown'}"))
-        if libc_ok is False:
-            reasons.append(
-                f"C library too old (needs "
-                f"{description.required_glibc}, site has "
-                f"{environment.libc_version})")
-
-        if not isa_ok or libc_ok is False:
-            prediction = Prediction(
-                ready=False, mode=mode, determinants=tuple(determinants),
-                reasons=tuple(reasons))
-            return self._finish(prediction, environment, None, None,
-                                feam_seconds, staging_tag)
-
-        # Determinant 2: MPI stack.
-        mpi_type = description.mpi_implementation
-        selected: Optional[DiscoveredStack] = None
-        assessments: list[StackAssessment] = []
-        if mpi_type is None:
-            determinants.append(DeterminantResult(
-                Determinant.MPI_STACK, True,
-                "binary does not appear to be an MPI application"))
-        else:
-            candidates = environment.stacks_of_kind(mpi_type)
-            if not candidates:
-                determinants.append(DeterminantResult(
-                    Determinant.MPI_STACK, False,
-                    f"no {mpi_type} stack available"))
-                reasons.append(f"no matching MPI implementation "
-                               f"({mpi_type}) at the site")
-            else:
-                for candidate in self._order_candidates(
-                        candidates, description):
-                    assessment = self.assess_stack(candidate, bundle)
-                    assessments.append(assessment)
-                    feam_seconds += 25.0
-                    if assessment.usable:
-                        selected = candidate
-                        break
-                determinants.append(DeterminantResult(
-                    Determinant.MPI_STACK, selected is not None,
-                    (f"selected {selected.label}" if selected else
-                     f"{len(candidates)} {mpi_type} stack(s) found but none "
-                     f"passed the functional tests")))
-                if selected is None:
-                    reasons.append(
-                        f"no usable {mpi_type} stack (hello-world tests "
-                        f"failed)")
-
-        if mpi_type is not None and selected is None:
-            prediction = Prediction(
-                ready=False, mode=mode, determinants=tuple(determinants),
-                stack_assessments=tuple(assessments),
-                reasons=tuple(reasons))
-            return self._finish(prediction, environment, None, None,
-                                feam_seconds, staging_tag)
-
-        # Determinant 4: shared libraries (under the selected stack).
-        env = (self.edc.env_for_stack(selected) if selected is not None
-               else self.toolbox.machine.env.copy())
-        missing, unsatisfied = self.edc.missing_libraries(
-            description, env, binary_path=binary_path)
-        feam_seconds += 0.5 * len(description.needed)
-        glibc_unsatisfied = [(lib, v) for lib, v in unsatisfied
-                             if v.startswith("GLIBC_")]
-        other_unsatisfied = [(lib, v) for lib, v in unsatisfied
-                             if not v.startswith("GLIBC_")]
-        if glibc_unsatisfied:
-            # Deeper C-library incompatibility discovered via ldd -v.
-            determinants = [
-                d if d.determinant is not Determinant.C_LIBRARY else
-                DeterminantResult(
-                    Determinant.C_LIBRARY, False,
-                    "unsatisfied GLIBC version references: " + ", ".join(
-                        f"{v} from {lib}" for lib, v in glibc_unsatisfied))
-                for d in determinants]
-            reasons.append("unsatisfied GLIBC symbol versions")
-
-        resolution: Optional[ResolutionPlan] = None
-        to_resolve = list(dict.fromkeys(
-            missing + [lib for lib, _v in other_unsatisfied]))
-        if to_resolve and bundle is not None and not glibc_unsatisfied:
-            resolver = ResolutionModel(self.toolbox, environment, self.config)
-            staging_dir = posixpath.join(self.config.staging_root, staging_tag)
-            resolution = resolver.resolve(to_resolve, bundle, env, staging_dir)
-            feam_seconds += 2.0 * len(to_resolve)
-            if resolution.staged:
-                for var, path in resolution.env_additions:
-                    env.prepend_path(var, path)
-                missing, unsatisfied = self.edc.missing_libraries(
-                    description, env, binary_path=binary_path)
-                other_unsatisfied = [(lib, v) for lib, v in unsatisfied
-                                     if not v.startswith("GLIBC_")]
-
-        shared_ok = (not missing and not other_unsatisfied
-                     and not glibc_unsatisfied)
-
-        # Extended compatibility re-test: when the imported hello-world was
-        # inconclusive (its own libraries were missing pre-resolution), run
-        # it again in the final environment to expose ABI/floating-point
-        # incompatibilities between the build stack and the selected stack.
-        if (shared_ok and selected is not None and bundle is not None
-                and bundle.hello is not None):
-            selected_assessment = next(
-                (a for a in assessments if a.stack is selected), None)
-            # Retest when the earlier probe was inconclusive OR when
-            # resolution changed the runtime environment (staged copies
-            # alter which MPI/runtime libraries actually load).
-            needs_retest = (
-                (selected_assessment is not None
-                 and selected_assessment.imported_hello_ok is None)
-                or (resolution is not None and bool(resolution.staged)))
-            if needs_retest:
-                retest_ok, failure_detail = self._run_imported_hello(
-                    selected, bundle, env,
-                    staging_dir=posixpath.join(
-                        self.config.staging_root, staging_tag))
-                feam_seconds += 20.0
-                if retest_ok is False:
-                    determinants = [
-                        d if d.determinant is not Determinant.MPI_STACK else
-                        DeterminantResult(
-                            Determinant.MPI_STACK, False,
-                            f"imported hello-world fails on "
-                            f"{selected.label}: {failure_detail}")
-                        for d in determinants]
-                    reasons.append(
-                        "guaranteed-environment hello-world is incompatible "
-                        "with the selected stack")
-                    prediction = Prediction(
-                        ready=False, mode=mode,
-                        determinants=tuple(determinants),
-                        stack_assessments=tuple(assessments),
-                        selected_stack=selected,
-                        missing_libraries=tuple(missing),
-                        unsatisfied_versions=tuple(unsatisfied),
-                        reasons=tuple(reasons))
-                    return self._finish(
-                        prediction, environment, resolution, None,
-                        feam_seconds, staging_tag, selected)
-        detail_parts = []
-        if missing:
-            detail_parts.append("missing: " + ", ".join(missing))
-        if other_unsatisfied:
-            detail_parts.append("unsatisfied versions: " + ", ".join(
-                f"{v} from {lib}" for lib, v in other_unsatisfied))
-        determinants.append(DeterminantResult(
-            Determinant.SHARED_LIBRARIES,
-            shared_ok if not glibc_unsatisfied else False,
-            "; ".join(detail_parts) or "all shared libraries available"))
-        if missing:
-            reasons.append("missing shared libraries: " + ", ".join(missing))
-        if other_unsatisfied:
-            reasons.append("incompatible shared library versions")
-
-        ready = (isa_ok and libc_ok is not False
-                 and (mpi_type is None or selected is not None)
-                 and shared_ok)
+        ctx = DeterminantContext(
+            description=description,
+            environment=environment,
+            config=self.config,
+            services=self,
+            mode=mode,
+            binary_path=binary_path,
+            bundle=bundle,
+            staging_tag=staging_tag,
+        )
+        ctx.feam_seconds = (
+            self.config.feam_base_seconds
+            + self.config.feam_seconds_per_dependency
+            * len(description.needed))
+        results = self.registry.run(ctx)
+        ready = all(r.outcome is not Outcome.FAIL for r in results)
         prediction = Prediction(
-            ready=ready, mode=mode, determinants=tuple(determinants),
-            stack_assessments=tuple(assessments),
-            selected_stack=selected,
-            missing_libraries=tuple(missing),
-            unsatisfied_versions=tuple(unsatisfied),
-            requires_resolution=bool(resolution and resolution.staged),
-            reasons=tuple(reasons))
-        return self._finish(prediction, environment, resolution,
-                            env if ready else None, feam_seconds,
-                            staging_tag, selected)
+            ready=ready, mode=mode, determinants=results,
+            stack_assessments=tuple(ctx.assessments),
+            selected_stack=ctx.selected,
+            missing_libraries=tuple(ctx.missing),
+            unsatisfied_versions=tuple(ctx.unsatisfied),
+            requires_resolution=(
+                bool(ctx.resolution and ctx.resolution.staged)
+                and not ctx.retest_failed),
+            reasons=tuple(ctx.reasons))
+        return self._finish(prediction, environment, ctx.resolution,
+                            ctx.env if ready else None, ctx.feam_seconds,
+                            staging_tag, ctx.selected)
 
-    def _run_imported_hello(self, stack: DiscoveredStack,
-                            bundle: SourceBundle, env: Environment,
-                            staging_dir: str) -> tuple[Optional[bool], str]:
+    def run_imported_hello(self, stack: DiscoveredStack,
+                           bundle: SourceBundle, env: Environment,
+                           staging_dir: str) -> tuple[Optional[bool], str]:
         """Run the guaranteed-environment hello under *env*.
 
         The probe's *own* missing libraries are first resolved from the

@@ -39,10 +39,16 @@ from repro.toolchain.compilers import Language
 class Feam:
     """The framework entry point."""
 
-    def __init__(self, config: Optional[FeamConfig] = None) -> None:
+    def __init__(self, config: Optional[FeamConfig] = None,
+                 engine: Optional["EvaluationEngine"] = None) -> None:
         self.config = config or FeamConfig()
-        #: TECs are cached per site so environment discovery runs once.
-        self._tecs: dict[str, TargetEvaluationComponent] = {}
+        if engine is None:
+            from repro.core.engine import EvaluationEngine
+            engine = EvaluationEngine(self.config)
+        #: The batch evaluation engine: caches TECs (so environment
+        #: discovery runs once per site), content-addressed descriptions,
+        #: and whole evaluation cells.
+        self.engine = engine
 
     # -- source phase -----------------------------------------------------------
 
@@ -130,11 +136,7 @@ class Feam:
     # -- target phase --------------------------------------------------------------
 
     def _tec_for(self, site) -> TargetEvaluationComponent:
-        tec = self._tecs.get(site.name)
-        if tec is None:
-            tec = TargetEvaluationComponent(site, self.config)
-            self._tecs[site.name] = tec
-        return tec
+        return self.engine.tec_for(site)
 
     def run_target_phase(self, site,
                          binary_path: Optional[str] = None,
@@ -148,6 +150,10 @@ class Feam:
         every method the paper describes).  The bundle may be given as an
         object (*bundle*) or as the path of a ``bundle-*.tar.gz`` archive
         the user copied into the target site (*bundle_path*).
+
+        Evaluation goes through the engine: the site's discovery, the
+        binary's (content-addressed) description and the full cell are
+        all memoised, so repeating a target phase is near-free.
         """
         if bundle is None and bundle_path is not None:
             from repro.core.bundlefile import unpack_bundle
@@ -155,15 +161,11 @@ class Feam:
         if binary_path is None and bundle is None:
             raise ValueError(
                 "target phase needs a binary at the site or a source bundle")
-        tec = self._tec_for(site)
-        description: BinaryDescription
-        if binary_path is not None:
-            bdc = BinaryDescriptionComponent(site.toolbox())
-            description = bdc.describe(binary_path)
-        else:
-            assert bundle is not None
-            description = bundle.description
         tag = staging_tag or posixpath.basename(
             binary_path or bundle.description.path).replace("/", "-")
-        return tec.evaluate(description, binary_path=binary_path,
-                            bundle=bundle, staging_tag=tag)
+        return self.engine.evaluate_cell(
+            site, binary_path=binary_path, bundle=bundle, staging_tag=tag)
+
+    def evaluate_matrix(self, binaries, sites, bundles=None):
+        """Batch-evaluate binaries x sites through the engine."""
+        return self.engine.evaluate_matrix(binaries, sites, bundles=bundles)

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import dataclasses
 import enum
-from typing import Optional
+from typing import Optional, Union
 
 from repro.core.discovery import DiscoveredStack
 
@@ -35,6 +35,41 @@ class Determinant(enum.Enum):
     SHARED_LIBRARIES = "shared-library-compatibility"
 
 
+class Outcome(enum.Enum):
+    """Tri-state outcome of one determinant check.
+
+    ``UNKNOWN`` covers both "could not be determined" (e.g. the site's
+    libc version is unreadable) and "not evaluated"; it must never be
+    conflated with a pass in reports, although the prediction itself
+    remains optimistic about unknowns (the paper only stops on a
+    determined incompatibility).
+    """
+
+    PASS = "pass"
+    FAIL = "fail"
+    UNKNOWN = "unknown"
+
+    @classmethod
+    def from_tristate(cls, value: Union["Outcome", bool, None]) -> "Outcome":
+        """Coerce the legacy ``True``/``False``/``None`` encoding."""
+        if isinstance(value, cls):
+            return value
+        if value is True:
+            return cls.PASS
+        if value is False:
+            return cls.FAIL
+        return cls.UNKNOWN
+
+    @property
+    def passed(self) -> Optional[bool]:
+        """The legacy tri-bool view (True/False/None)."""
+        if self is Outcome.PASS:
+            return True
+        if self is Outcome.FAIL:
+            return False
+        return None
+
+
 class PredictionMode(enum.Enum):
     """Whether the optional source phase contributed (Section VI.B)."""
 
@@ -44,13 +79,33 @@ class PredictionMode(enum.Enum):
 
 @dataclasses.dataclass(frozen=True)
 class DeterminantResult:
-    """Outcome of evaluating one determinant."""
+    """Outcome of evaluating one determinant.
 
-    determinant: Determinant
-    #: True = compatible; False = incompatible; None = not evaluated
-    #: (the paper stops after the first failing gate).
-    passed: Optional[bool]
+    *determinant* is one of the four :class:`Determinant` members for the
+    paper's checks, or a plain string key for custom checks registered
+    with the determinant pipeline.  *outcome* accepts the legacy
+    ``True``/``False``/``None`` encoding and normalises it.
+    """
+
+    determinant: Union[Determinant, str]
+    outcome: Union[Outcome, bool, None]
     detail: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "outcome", Outcome.from_tristate(self.outcome))
+
+    @property
+    def key(self) -> str:
+        """The determinant's stable string key (registry/report key)."""
+        if isinstance(self.determinant, Determinant):
+            return self.determinant.value
+        return str(self.determinant)
+
+    @property
+    def passed(self) -> Optional[bool]:
+        """Legacy tri-bool view: True = pass, False = fail, None = unknown."""
+        return self.outcome.passed
 
 
 @dataclasses.dataclass(frozen=True)
@@ -87,13 +142,20 @@ class Prediction:
     requires_resolution: bool = False
     reasons: tuple[str, ...] = ()
 
-    def determinant(self, which: Determinant) -> DeterminantResult:
+    def determinant(self, which: Union[Determinant, str]) -> DeterminantResult:
+        key = which.value if isinstance(which, Determinant) else str(which)
         for result in self.determinants:
-            if result.determinant is which:
+            if result.determinant is which or result.key == key:
                 return result
-        return DeterminantResult(which, None, "not evaluated")
+        return DeterminantResult(which, Outcome.UNKNOWN, "not evaluated")
 
     @property
-    def failed_determinants(self) -> tuple[Determinant, ...]:
+    def failed_determinants(self) -> tuple[Union[Determinant, str], ...]:
         return tuple(r.determinant for r in self.determinants
-                     if r.passed is False)
+                     if r.outcome is Outcome.FAIL)
+
+    @property
+    def unknown_determinants(self) -> tuple[Union[Determinant, str], ...]:
+        """Determinants that were evaluated but could not be decided."""
+        return tuple(r.determinant for r in self.determinants
+                     if r.outcome is Outcome.UNKNOWN)

@@ -11,16 +11,29 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from repro.core.prediction import Outcome
+
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.evaluation import TargetReport
 
 
 def _mark(passed) -> str:
+    """Render a probe's tri-bool (hello-world tests: no probe = SKIP)."""
     if passed is True:
         return "PASS"
     if passed is False:
         return "FAIL"
     return "SKIP"
+
+
+def _outcome_mark(outcome: Outcome) -> str:
+    """Render a determinant's tri-state outcome.
+
+    UNKNOWN is rendered as such -- an undeterminable check (e.g. the
+    site's libc version could not be read) must not look like a pass.
+    """
+    return {Outcome.PASS: "PASS", Outcome.FAIL: "FAIL",
+            Outcome.UNKNOWN: "UNKNOWN"}[outcome]
 
 
 def render_target_report(report: "TargetReport") -> str:
@@ -39,8 +52,13 @@ def render_target_report(report: "TargetReport") -> str:
         "determinants:",
     ]
     for result in p.determinants:
-        lines.append(f"  [{_mark(result.passed)}] "
-                     f"{result.determinant.value}: {result.detail}")
+        lines.append(f"  [{_outcome_mark(result.outcome)}] "
+                     f"{result.key}: {result.detail}")
+    unknown = [r.key for r in p.determinants
+               if r.outcome is Outcome.UNKNOWN]
+    if unknown:
+        lines.append("  note: outcome unknown for " + ", ".join(unknown)
+                     + " (not verified, not counted as a failure)")
     if p.stack_assessments:
         lines.append("")
         lines.append("mpi stack tests:")
@@ -68,6 +86,8 @@ def render_target_report(report: "TargetReport") -> str:
             lines.append(f"  - {reason}")
     lines.append("")
     lines.append(f"feam cpu time: {report.feam_seconds:.0f} s")
+    if report.cache is not None:
+        lines.append(f"engine cache: {report.cache.render()}")
     return "\n".join(lines) + "\n"
 
 

@@ -29,6 +29,7 @@ from typing import Optional
 
 from repro.core.bundle import SourceBundle
 from repro.core.config import FeamConfig
+from repro.core.engine import CacheStats
 from repro.core.feam import Feam
 from repro.corpus.builder import (
     CompiledBinary,
@@ -112,6 +113,9 @@ class ExperimentResult:
     max_source_phase_seconds: float
     max_target_phase_seconds: float
     config: ExperimentConfig
+    #: Evaluation-engine cache counters for the whole run (description
+    #: reuse across basic/extended cells, one discovery per site).
+    cache_stats: Optional["CacheStats"] = None
 
     def of_suite(self, suite: Suite) -> list[MigrationRecord]:
         return [r for r in self.records if r.suite is suite]
@@ -258,10 +262,10 @@ def run_experiment(config: Optional[ExperimentConfig] = None,
                 basic_feam_seconds=basic.feam_seconds,
                 extended_feam_seconds=extended.feam_seconds,
                 basic_determinants={
-                    d.determinant.value: d.passed
+                    d.key: d.passed
                     for d in basic.prediction.determinants},
                 extended_determinants={
-                    d.determinant.value: d.passed
+                    d.key: d.passed
                     for d in extended.prediction.determinants},
             ))
         if progress and (index + 1) % 25 == 0:
@@ -275,4 +279,5 @@ def run_experiment(config: Optional[ExperimentConfig] = None,
         max_source_phase_seconds=max(source_seconds.values(), default=0.0),
         max_target_phase_seconds=max_target_seconds,
         config=cfg,
+        cache_stats=feam.engine.stats.snapshot(),
     )

@@ -169,4 +169,7 @@ def render_intext(result: ExperimentResult) -> str:
     lines.append("")
     lines.append(f"missing-shared-library share of failures: {_pct(share)} "
                  f"(paper: 'more than half')")
+    if result.cache_stats is not None:
+        lines.append("")
+        lines.append(f"evaluation-engine cache: {result.cache_stats.render()}")
     return "\n".join(lines) + "\n"

@@ -42,3 +42,22 @@ def stable_hash(*parts: _Part) -> int:
 def stable_uniform(*parts: _Part) -> float:
     """A deterministic draw in [0, 1) keyed by the tuple."""
     return stable_hash(*parts) / 2.0 ** 64
+
+
+def stable_digest(*parts: _Part) -> str:
+    """A full hex SHA-256 digest of the key tuple.
+
+    The content-address used by the evaluation engine for environment
+    fingerprints and bundle identities: collision-resistant (unlike the
+    64-bit :func:`stable_hash`) and printable.
+    """
+    h = hashlib.sha256()
+    for part in parts:
+        h.update(_encode(part))
+        h.update(b"\x1f")
+    return h.hexdigest()
+
+
+def content_digest(data: bytes) -> str:
+    """The hex SHA-256 content-address of a byte string (e.g. an ELF image)."""
+    return hashlib.sha256(data).hexdigest()

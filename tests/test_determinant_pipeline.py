@@ -1,0 +1,219 @@
+"""The pluggable determinant pipeline: registry, tri-state, reports."""
+
+import pytest
+
+from repro.core import Feam, FeamConfig
+from repro.core.determinants import (
+    DeterminantRegistry,
+    default_registry,
+)
+from repro.core.determinants.base import DeterminantContext, RegistryError
+from repro.core.discovery import EnvironmentDescription
+from repro.core.evaluation import TargetEvaluationComponent, TargetReport
+from repro.core.prediction import (
+    Determinant,
+    DeterminantResult,
+    Outcome,
+    Prediction,
+    PredictionMode,
+)
+from repro.core.report import render_target_report
+from repro.toolchain.compilers import Language
+
+
+class StubCheck:
+    """A scriptable check that records when it ran."""
+
+    def __init__(self, key, outcome, depends_on=(), log=None):
+        self.key = key
+        self.depends_on = tuple(depends_on)
+        self._outcome = outcome
+        self._log = log if log is not None else []
+
+    def run(self, ctx):
+        self._log.append(self.key)
+        if self._outcome is None:
+            return None
+        return DeterminantResult(self.key, self._outcome, "stub")
+
+
+def _bare_ctx():
+    return DeterminantContext(
+        description=None, environment=None, config=None, services=None)
+
+
+class TestRegistry:
+    def test_default_order_is_the_papers(self):
+        assert default_registry().keys == (
+            Determinant.ISA.value,
+            Determinant.C_LIBRARY.value,
+            Determinant.MPI_STACK.value,
+            Determinant.SHARED_LIBRARIES.value,
+        )
+
+    def test_runs_in_registration_order(self):
+        log = []
+        registry = DeterminantRegistry((
+            StubCheck("a", Outcome.PASS, log=log),
+            StubCheck("b", Outcome.PASS, log=log),
+            StubCheck("c", Outcome.PASS, depends_on=("a",), log=log)))
+        results = registry.run(_bare_ctx())
+        assert log == ["a", "b", "c"]
+        assert [r.key for r in results] == ["a", "b", "c"]
+
+    def test_short_circuit_skips_dependents_of_a_failure(self):
+        log = []
+        registry = DeterminantRegistry((
+            StubCheck("isa", Outcome.FAIL, log=log),
+            StubCheck("libc", Outcome.PASS, log=log),
+            StubCheck("mpi", Outcome.PASS, depends_on=("isa", "libc"),
+                      log=log),
+            StubCheck("libs", Outcome.PASS, depends_on=("mpi",), log=log)))
+        results = registry.run(_bare_ctx())
+        # libc has no dependencies and still runs (the paper reports both
+        # gates); mpi and, transitively, libs are skipped entirely.
+        assert log == ["isa", "libc"]
+        assert [r.key for r in results] == ["isa", "libc"]
+
+    def test_unknown_outcome_does_not_gate(self):
+        log = []
+        registry = DeterminantRegistry((
+            StubCheck("libc", Outcome.UNKNOWN, log=log),
+            StubCheck("mpi", Outcome.PASS, depends_on=("libc",), log=log)))
+        results = registry.run(_bare_ctx())
+        assert log == ["libc", "mpi"]
+        assert results[1].outcome is Outcome.PASS
+
+    def test_duplicate_key_rejected(self):
+        registry = DeterminantRegistry((StubCheck("a", Outcome.PASS),))
+        with pytest.raises(RegistryError):
+            registry.register(StubCheck("a", Outcome.PASS))
+
+    def test_unknown_dependency_rejected(self):
+        with pytest.raises(RegistryError):
+            DeterminantRegistry((StubCheck("b", Outcome.PASS,
+                                           depends_on=("nope",)),))
+
+    def test_amended_result_keeps_its_slot(self):
+        ctx = _bare_ctx()
+        registry = DeterminantRegistry((
+            StubCheck("first", Outcome.PASS),
+            StubCheck("second", Outcome.PASS)))
+        registry.run(ctx)
+        ctx.amend("first", DeterminantResult("first", Outcome.FAIL, "later"))
+        assert [r.key for r in ctx.results.values()] == ["first", "second"]
+        assert ctx.results["first"].outcome is Outcome.FAIL
+
+
+class TestTriState:
+    def test_legacy_bool_coercion(self):
+        assert DeterminantResult(Determinant.ISA, True).outcome \
+            is Outcome.PASS
+        assert DeterminantResult(Determinant.ISA, False).outcome \
+            is Outcome.FAIL
+        assert DeterminantResult(Determinant.ISA, None).outcome \
+            is Outcome.UNKNOWN
+
+    def test_passed_view_roundtrips(self):
+        assert DeterminantResult(Determinant.ISA, Outcome.PASS).passed is True
+        assert DeterminantResult(Determinant.ISA, Outcome.FAIL).passed \
+            is False
+        assert DeterminantResult(Determinant.ISA,
+                                 Outcome.UNKNOWN).passed is None
+
+    def test_unknown_determinants_listed(self):
+        prediction = Prediction(
+            ready=True, mode=PredictionMode.BASIC,
+            determinants=(
+                DeterminantResult(Determinant.ISA, Outcome.PASS, "ok"),
+                DeterminantResult(Determinant.C_LIBRARY, Outcome.UNKNOWN,
+                                  "libc unreadable"),
+            ))
+        assert prediction.unknown_determinants == (Determinant.C_LIBRARY,)
+        assert prediction.failed_determinants == ()
+
+    def test_unknown_renders_as_unknown_not_pass(self):
+        environment = EnvironmentDescription(
+            hostname="mystery", isa="x86_64", os_type="Linux",
+            os_version=None, distro=None, libc_version=None, libc_path=None,
+            libc_via=None, stacks=(), env_tool=None)
+        prediction = Prediction(
+            ready=True, mode=PredictionMode.BASIC,
+            determinants=(
+                DeterminantResult(Determinant.ISA, Outcome.PASS, "ok"),
+                DeterminantResult(
+                    Determinant.C_LIBRARY, Outcome.UNKNOWN,
+                    "binary requires GLIBC_2.7, target has unknown"),
+            ))
+        text = render_target_report(TargetReport(
+            prediction=prediction, environment=environment))
+        assert "[UNKNOWN] c-library-compatibility" in text
+        assert "outcome unknown for c-library-compatibility" in text
+        assert "[PASS] c-library-compatibility" not in text
+
+
+class _GpuRuntimeCheck:
+    """A custom fifth determinant: is a CUDA runtime present?"""
+
+    key = "gpu-runtime"
+    depends_on = (Determinant.ISA.value,)
+
+    def run(self, ctx):
+        present = ctx.services.site.machine.fs.is_file(
+            "/usr/lib64/libcudart.so.4")
+        return DeterminantResult(
+            self.key, Outcome.PASS if present else Outcome.FAIL,
+            "libcudart.so.4 " + ("present" if present else "not found"))
+
+
+class TestCustomCheck:
+    def _evaluate_with_gpu_check(self, make_site):
+        donor = make_site("pipe-donor")
+        stack = donor.find_stack("openmpi-1.4-intel")
+        app = donor.compile_mpi_program("p-app", Language.FORTRAN, stack)
+        twin = make_site("pipe-twin")
+        twin.machine.fs.write("/home/user/p-app", app.image, mode=0o755)
+        registry = default_registry()
+        registry.register(_GpuRuntimeCheck())
+        tec = TargetEvaluationComponent(twin, registry=registry)
+        from repro.core.description import BinaryDescriptionComponent
+        description = BinaryDescriptionComponent(
+            twin.toolbox()).describe("/home/user/p-app")
+        return twin, tec.evaluate(description, binary_path="/home/user/p-app",
+                                  staging_tag="gpu")
+
+    def test_custom_check_runs_and_reports(self, make_site):
+        twin, report = self._evaluate_with_gpu_check(make_site)
+        result = report.prediction.determinant("gpu-runtime")
+        assert result.outcome is Outcome.FAIL
+        assert report.prediction.failed_determinants == ("gpu-runtime",)
+        assert not report.ready
+        text = twin.machine.fs.read_text(report.output_path)
+        assert "[FAIL] gpu-runtime: libcudart.so.4 not found" in text
+
+
+class TestTimingModelConfig:
+    def test_defaults_match_the_seed_constants(self):
+        config = FeamConfig()
+        assert config.feam_base_seconds == 10.0
+        assert config.feam_seconds_per_dependency == 0.2
+        assert config.stack_assessment_seconds == 25.0
+        assert config.library_check_seconds == 0.5
+        assert config.resolution_seconds_per_library == 2.0
+        assert config.hello_retest_seconds == 20.0
+
+    def test_parse_and_render_roundtrip(self):
+        config = FeamConfig(feam_base_seconds=3.5,
+                            stack_assessment_seconds=40.0)
+        parsed = FeamConfig.parse(config.render())
+        assert parsed == config
+
+    def test_evaluation_uses_configured_base(self, make_site):
+        donor = make_site("timing-donor")
+        stack = donor.find_stack("openmpi-1.4-intel")
+        app = donor.compile_mpi_program("t-app", Language.FORTRAN, stack)
+        twin = make_site("timing-twin")
+        twin.machine.fs.write("/home/user/t-app", app.image, mode=0o755)
+        feam = Feam(FeamConfig(feam_base_seconds=500.0))
+        report = feam.run_target_phase(twin, binary_path="/home/user/t-app")
+        assert report.feam_seconds >= 500.0
