@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test ci bench tables report examples clean
+.PHONY: install test ci bench bench-matrix trace tables report examples clean
 
 install:
 	pip install -e .
@@ -15,6 +15,12 @@ ci:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-matrix:
+	PYTHONPATH=src $(PYTHON) benchmarks/emit_bench.py BENCH_matrix.json
+
+trace:
+	PYTHONPATH=src $(PYTHON) -m repro feam trace --trace-out trace.jsonl
 
 tables:
 	$(PYTHON) -m repro all

@@ -1,0 +1,93 @@
+"""Emit ``BENCH_matrix.json``: cold vs warm batch-evaluation timings.
+
+Run as a script (``make bench-matrix`` or
+``PYTHONPATH=src python benchmarks/emit_bench.py [out.json]``).  It times
+:meth:`EvaluationEngine.evaluate_matrix` over the paper's five sites
+
+* **cold** -- fresh engine, every cache layer empty;
+* **warm** -- the same engine again, every cell served from cache;
+* **traced** -- cold again under an installed observability collector,
+  to measure the collection overhead against the cold (no-collector)
+  baseline.
+
+The JSON it writes is consumed by CI (uploaded as an artifact alongside
+a sample trace) and by humans eyeballing cache efficacy.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+
+from repro import obs
+from repro.core.engine import EngineBinary, EvaluationEngine
+from repro.sites.catalog import build_paper_sites
+from repro.toolchain.compilers import Language
+
+SEED = 20130101
+BINARIES = 4
+
+
+def _build_inputs(seed: int = SEED, count: int = BINARIES):
+    sites = build_paper_sites(seed, cached=False)
+    binaries = []
+    for index in range(count):
+        site = sites[index % len(sites)]
+        stack = site.stacks[index % len(site.stacks)]
+        name = f"bench-{site.name}-{stack.spec.slug}-{index}"
+        linked = site.compile_mpi_program(name, Language.FORTRAN, stack)
+        binaries.append(EngineBinary(binary_id=name, image=linked.image))
+    return sites, binaries
+
+
+def run(out_path: str = "BENCH_matrix.json") -> dict:
+    sites, binaries = _build_inputs()
+
+    engine = EvaluationEngine()
+    start = time.perf_counter()
+    cold_result = engine.evaluate_matrix(binaries, sites)
+    cold = time.perf_counter() - start
+
+    start = time.perf_counter()
+    engine.evaluate_matrix(binaries, sites)
+    warm = time.perf_counter() - start
+    stats = engine.stats.snapshot()
+
+    traced_engine = EvaluationEngine()
+    with obs.capture() as collector:
+        start = time.perf_counter()
+        traced_engine.evaluate_matrix(binaries, sites)
+        traced = time.perf_counter() - start
+
+    payload = {
+        "seed": SEED,
+        "binaries": len(binaries),
+        "sites": len(sites),
+        "cells": len(cold_result.cells),
+        "cold_seconds": round(cold, 4),
+        "warm_seconds": round(warm, 4),
+        "warm_speedup": round(cold / warm, 1) if warm > 0 else None,
+        "traced_seconds": round(traced, 4),
+        "traced_overhead": round(traced / cold - 1.0, 4) if cold > 0
+        else None,
+        "trace_spans": len(collector.spans),
+        "cache": {
+            "description_hits": stats.description_hits,
+            "description_misses": stats.description_misses,
+            "discovery_hits": stats.discovery_hits,
+            "discovery_misses": stats.discovery_misses,
+            "evaluation_hits": stats.evaluation_hits,
+            "evaluation_misses": stats.evaluation_misses,
+        },
+    }
+    with open(out_path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"cold {cold:.3f}s  warm {warm:.3f}s  "
+          f"traced {traced:.3f}s  -> {out_path}")
+    return payload
+
+
+if __name__ == "__main__":
+    run(sys.argv[1] if len(sys.argv) > 1 else "BENCH_matrix.json")

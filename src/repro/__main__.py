@@ -20,7 +20,14 @@ artifacts:
 
 * ``feam matrix`` -- batch-evaluate a set of binaries against every
   paper site through the cached :class:`~repro.core.engine.\
-EvaluationEngine`, printing the readiness grid and cache statistics.
+EvaluationEngine`, printing the readiness grid and cache statistics
+  (``--verbose`` adds per-cell cache provenance, ``--trace-out`` writes
+  the run's trace as JSONL);
+* ``feam trace`` -- run one real evaluation under the observability
+  collector and pretty-print the span tree (every determinant check,
+  the discovery step and each resolution copy);
+* ``feam stats`` -- run a batch evaluation and dump the metrics
+  registry (counters, gauges, histogram summaries).
 """
 
 from __future__ import annotations
@@ -94,13 +101,67 @@ def feam_main(argv: Optional[list[str]] = None) -> int:
     matrix.add_argument(
         "--workers", type=int, default=None,
         help="thread-pool size for the per-site planner")
+    matrix.add_argument(
+        "--verbose", action="store_true",
+        help="also print per-cell cache provenance and non-pass "
+             "determinants")
+    matrix.add_argument(
+        "--trace-out", metavar="FILE.jsonl", default=None,
+        help="write the run's observability trace as JSONL")
+
+    trace = sub.add_parser(
+        "trace",
+        help="run one real evaluation under the observability collector "
+             "and pretty-print the span tree")
+    trace.add_argument(
+        "--seed", type=int, default=20130101,
+        help="world seed (default: 20130101)")
+    trace.add_argument(
+        "--build-site", default="fir",
+        help="site whose toolchain builds the test binary "
+             "(default: fir)")
+    trace.add_argument(
+        "--target-site", default="ranger",
+        help="site the binary is migrated to (default: ranger -- a "
+             "migration whose resolution stages library copies)")
+    trace.add_argument(
+        "--stack", default=None, metavar="SLUG",
+        help="MPI stack slug at the build site (default: its first)")
+    trace.add_argument(
+        "--basic", action="store_true",
+        help="skip the source phase (basic prediction; no resolution)")
+    trace.add_argument(
+        "--trace-out", metavar="FILE.jsonl", default=None,
+        help="also write the trace as JSONL")
+
+    stats = sub.add_parser(
+        "stats",
+        help="run a batch evaluation and dump the metrics registry")
+    stats.add_argument(
+        "--seed", type=int, default=20130101,
+        help="world seed (default: 20130101)")
+    stats.add_argument(
+        "--binaries", type=int, default=4,
+        help="how many test binaries to compile (default: 4)")
+    stats.add_argument(
+        "--extended", action="store_true",
+        help="also run source phases and evaluate in extended mode")
+    stats.add_argument(
+        "--workers", type=int, default=None,
+        help="thread-pool size for the per-site planner")
+
     args = parser.parse_args(argv)
     if args.command == "matrix":
         return _feam_matrix(args)
+    if args.command == "trace":
+        return _feam_trace(args)
+    if args.command == "stats":
+        return _feam_stats(args)
     return 2  # pragma: no cover - argparse enforces the choices
 
 
-def _feam_matrix(args) -> int:
+def _build_matrix_inputs(args):
+    """Shared ``feam matrix`` / ``feam stats`` setup: sites + binaries."""
     from repro.core.engine import EngineBinary, EvaluationEngine
     from repro.core.feam import Feam
     from repro.sites.catalog import build_paper_sites
@@ -123,10 +184,95 @@ def _feam_matrix(args) -> int:
             site.machine.fs.write(path, linked.image, mode=0o755)
             bundles[name] = feam.run_source_phase(
                 site, path, env=site.env_with_stack(stack))
+    return sites, engine, binaries, bundles
+
+
+def _feam_matrix(args) -> int:
+    from repro import obs
+
+    sites, engine, binaries, bundles = _build_matrix_inputs(args)
     print(f"evaluating {len(binaries)} binaries x {len(sites)} sites...",
           file=sys.stderr)
-    result = engine.evaluate_matrix(binaries, sites, bundles=bundles or None)
-    print(result.render())
+    if args.trace_out:
+        with obs.capture() as collector:
+            result = engine.evaluate_matrix(
+                binaries, sites, bundles=bundles or None)
+        obs.export.write_jsonl(args.trace_out, collector)
+        print(f"trace written to {args.trace_out} "
+              f"({len(collector.spans)} spans)", file=sys.stderr)
+    else:
+        result = engine.evaluate_matrix(
+            binaries, sites, bundles=bundles or None)
+    print(result.render(verbose=args.verbose))
+    return 0
+
+
+def _feam_stats(args) -> int:
+    from repro import obs
+
+    sites, engine, binaries, bundles = _build_matrix_inputs(args)
+    print(f"evaluating {len(binaries)} binaries x {len(sites)} sites...",
+          file=sys.stderr)
+    with obs.capture() as collector:
+        engine.evaluate_matrix(binaries, sites, bundles=bundles or None)
+    print(collector.metrics.render())
+    return 0
+
+
+def _feam_trace(args) -> int:
+    from repro import obs
+    from repro.core.feam import Feam
+    from repro.sites.catalog import build_paper_sites
+    from repro.toolchain.compilers import Language
+
+    print("building the paper's five sites...", file=sys.stderr)
+    sites = {s.name: s for s in build_paper_sites(args.seed, cached=False)}
+    for role, name in (("build", args.build_site),
+                       ("target", args.target_site)):
+        if name not in sites:
+            print(f"unknown {role} site {name!r}; choose from "
+                  f"{', '.join(sorted(sites))}", file=sys.stderr)
+            return 2
+    build_site = sites[args.build_site]
+    target = sites[args.target_site]
+    if args.stack is not None:
+        stack = next((s for s in build_site.stacks
+                      if s.spec.slug == args.stack), None)
+        if stack is None:
+            print(f"no stack {args.stack!r} at {build_site.name}; choose "
+                  f"from {', '.join(s.spec.slug for s in build_site.stacks)}",
+                  file=sys.stderr)
+            return 2
+    else:
+        stack = build_site.stacks[0]
+    name = f"traced-{build_site.name}-{stack.spec.slug}"
+    linked = build_site.compile_mpi_program(name, Language.FORTRAN, stack)
+    path = f"/home/user/{name}"
+    build_site.machine.fs.write(path, linked.image, mode=0o755)
+
+    feam = Feam()
+    bundle = None
+    if not args.basic:
+        print(f"source phase at {build_site.name}...", file=sys.stderr)
+        bundle = feam.run_source_phase(
+            build_site, path, env=build_site.env_with_stack(stack))
+    target.machine.fs.write(path, linked.image, mode=0o755)
+    print(f"target phase at {target.name} "
+          f"({'basic' if args.basic else 'extended'})...", file=sys.stderr)
+    with obs.capture() as collector:
+        report = feam.run_target_phase(
+            target, binary_path=path, bundle=bundle)
+    print(obs.export.render_span_tree(collector.spans))
+    print()
+    verdict = "READY" if report.ready else "NOT READY"
+    print(f"verdict: {verdict} "
+          f"({len(collector.spans)} spans, "
+          f"{len(collector.events.events)} events)")
+    for reason in report.prediction.reasons:
+        print(f"  reason: {reason}")
+    if args.trace_out:
+        obs.export.write_jsonl(args.trace_out, collector)
+        print(f"trace written to {args.trace_out}", file=sys.stderr)
     return 0
 
 
@@ -144,6 +290,9 @@ def main(argv: Optional[list[str]] = None) -> int:
     parser.add_argument(
         "--seed", type=int, default=20130101,
         help="experiment seed (default: 20130101)")
+    parser.add_argument(
+        "--trace-out", metavar="FILE.jsonl", default=None,
+        help="write the evaluation run's observability trace as JSONL")
     args = parser.parse_args(argv)
 
     wanted = list(args.what)
@@ -159,8 +308,19 @@ def main(argv: Optional[list[str]] = None) -> int:
                 print("running the full evaluation "
                       "(compile matrix + 800+ migrations)...",
                       file=sys.stderr)
+                from repro import obs
                 from repro.evaluation.experiment import ExperimentConfig
-                result = run_experiment(ExperimentConfig(seed=args.seed))
+                # The experiment always runs traced: the report's
+                # observability section and --trace-out read from the
+                # collector; the spans cost a few percent of a run that
+                # is dominated by simulated compilation and execution.
+                with obs.capture() as collector:
+                    result = run_experiment(ExperimentConfig(seed=args.seed))
+                if args.trace_out:
+                    obs.export.write_jsonl(args.trace_out, collector)
+                    print(f"trace written to {args.trace_out} "
+                          f"({len(collector.spans)} spans)",
+                          file=sys.stderr)
             print(_EXPERIMENTAL[what](result))
     return 0
 

@@ -5,6 +5,7 @@ from __future__ import annotations
 import dataclasses
 from typing import TYPE_CHECKING, Optional, Protocol, runtime_checkable
 
+from repro import obs
 from repro.core.prediction import DeterminantResult, Outcome, PredictionMode
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -60,6 +61,10 @@ class DeterminantContext:
 
     def amend(self, key: str, result: DeterminantResult) -> None:
         """Replace an earlier result in place (position preserved)."""
+        old = self.results.get(key)
+        obs.event("determinant.amended", key=key,
+                  old=(old.outcome.value if old is not None else None),
+                  new=result.outcome.value, detail=result.detail)
         self.results[key] = result
 
     def outcome_of(self, key: str) -> Optional[Outcome]:
@@ -129,15 +134,30 @@ class DeterminantRegistry:
         """
         skipped: set[str] = set()
         for check in self._checks:
-            blocked = any(
-                dep in skipped or ctx.outcome_of(dep) is Outcome.FAIL
-                for dep in check.depends_on)
-            if blocked:
+            blocking = [
+                dep for dep in check.depends_on
+                if dep in skipped or ctx.outcome_of(dep) is Outcome.FAIL]
+            if blocking:
                 skipped.add(check.key)
+                with obs.span("determinant", key=check.key) as sp:
+                    sp.set_attrs(outcome="skipped",
+                                 short_circuit=", ".join(blocking))
+                obs.counter("determinant.skipped").inc()
                 continue
-            result = check.run(ctx)
-            if result is not None:
-                ctx.results[check.key] = result
+            sim_before = ctx.feam_seconds
+            with obs.span("determinant", key=check.key) as sp:
+                result = check.run(ctx)
+                sp.add_sim_seconds(ctx.feam_seconds - sim_before)
+                if result is not None:
+                    ctx.results[check.key] = result
+                    sp.set_attrs(outcome=result.outcome.value,
+                                 detail=result.detail)
+                    obs.counter(
+                        f"determinant.{result.outcome.value}").inc()
+                else:
+                    # The check recorded nothing of its own (it amended
+                    # earlier results instead -- the paper's early exit).
+                    sp.set_attrs(outcome="no-result")
         return tuple(ctx.results.values())
 
 

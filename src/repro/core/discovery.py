@@ -21,6 +21,7 @@ import posixpath
 import re
 from typing import Optional
 
+from repro import obs
 from repro.core.description import BinaryDescription
 from repro.sites.modules import EnvironmentModules
 from repro.sites.softenv import SoftEnv
@@ -121,10 +122,20 @@ class EnvironmentDiscoveryComponent:
 
     def discover(self) -> EnvironmentDescription:
         """Gather the full Figure 4 description."""
-        isa = self._discover_isa()
-        os_type, os_version, distro = self._discover_os()
-        libc_path, libc_version, libc_via = self._discover_libc()
-        tool, stacks = self._discover_stacks()
+        with obs.span("edc.discover",
+                      host=self.toolbox.machine.hostname) as sp:
+            with obs.span("edc.isa"):
+                isa = self._discover_isa()
+            with obs.span("edc.os"):
+                os_type, os_version, distro = self._discover_os()
+            with obs.span("edc.libc") as libc_span:
+                libc_path, libc_version, libc_via = self._discover_libc()
+                libc_span.set_attrs(version=libc_version, via=libc_via)
+            with obs.span("edc.stacks") as stacks_span:
+                tool, stacks = self._discover_stacks()
+                stacks_span.set_attrs(env_tool=tool, found=len(stacks))
+            sp.set_attrs(isa=isa, os=os_type, libc=libc_version,
+                         stacks=len(stacks))
         loaded = tuple(self.env.get_list("LOADEDMODULES"))
         return EnvironmentDescription(
             hostname=self.toolbox.machine.hostname,

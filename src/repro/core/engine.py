@@ -32,9 +32,11 @@ from __future__ import annotations
 import dataclasses
 import posixpath
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Iterable, Optional, Sequence, Union
 
+from repro import obs
 from repro.core.bundle import SourceBundle
 from repro.core.config import FeamConfig
 from repro.core.description import (
@@ -47,6 +49,7 @@ from repro.core.evaluation import (
     TargetEvaluationComponent,
     TargetReport,
 )
+from repro.core.prediction import Outcome
 from repro.util.hashing import content_digest, stable_digest
 
 #: Where the engine stages binaries it migrates to a site itself.
@@ -97,6 +100,21 @@ class MatrixCell:
     def ready(self) -> bool:
         return self.report.ready
 
+    @property
+    def outcome_word(self) -> str:
+        """Grid cell word: ``ready`` / ``unknown`` / ``no``.
+
+        ``unknown`` marks a cell whose verdict is optimistic -- no
+        determinant failed, but at least one could not be determined.
+        It must never render the same as a clean pass or as a
+        determined incompatibility.
+        """
+        if not self.report.ready:
+            return "no"
+        if self.report.prediction.unknown_determinants:
+            return "unknown"
+        return "ready"
+
 
 @dataclasses.dataclass
 class MatrixResult:
@@ -111,8 +129,13 @@ class MatrixResult:
                 return cell
         return None
 
-    def render(self) -> str:
-        """A readiness grid (binaries x sites) plus cache statistics."""
+    def render(self, verbose: bool = False) -> str:
+        """A readiness grid (binaries x sites) plus cache statistics.
+
+        With *verbose*, each cell additionally gets one line with its
+        engine cache provenance (which layers hit) and, for non-ready
+        cells, the failed/unknown determinants.
+        """
         binaries = list(dict.fromkeys(c.binary_id for c in self.cells))
         sites = list(dict.fromkeys(c.site_name for c in self.cells))
         by_key = {(c.binary_id, c.site_name): c for c in self.cells}
@@ -126,12 +149,29 @@ class MatrixResult:
             row = f"{binary_id:<{id_width}}"
             for site in sites:
                 cell = by_key.get((binary_id, site))
-                word = ("-" if cell is None
-                        else "ready" if cell.ready else "no")
+                word = "-" if cell is None else cell.outcome_word
                 row += f"  {word:>12}"
             lines.append(row)
         lines.append("")
+        lines.append("legend: ready = all determinants pass | "
+                     "unknown = undetermined (optimistic verdict) | "
+                     "no = determined incompatibility")
         lines.append(f"cache: {self.stats.render()}")
+        if verbose:
+            lines.append("")
+            lines.append("cells:")
+            for cell in self.cells:
+                cache = (cell.report.cache.render()
+                         if cell.report.cache is not None else "uncached")
+                line = (f"  {cell.binary_id} @ {cell.site_name}: "
+                        f"{cell.outcome_word} [{cache}]")
+                undecided = [
+                    f"{r.key}={r.outcome.value}"
+                    for r in cell.report.prediction.determinants
+                    if r.outcome is not Outcome.PASS]
+                if undecided:
+                    line += " determinants: " + ", ".join(undecided)
+                lines.append(line)
         return "\n".join(lines) + "\n"
 
 
@@ -221,7 +261,11 @@ class EvaluationEngine:
         """(environment description, was it a cache hit)."""
         tec = self.tec_for(site)
         hit = tec._environment is not None
-        environment = tec.environment()
+        with obs.span("engine.discover", site=site.name, hit=hit):
+            started = time.perf_counter()
+            environment = tec.environment()
+            obs.histogram("engine.discover.seconds").observe(
+                time.perf_counter() - started)
         with self._lock:
             if hit:
                 self.stats.discovery_hits += 1
@@ -230,6 +274,8 @@ class EvaluationEngine:
             if site.name not in self._fingerprints:
                 self._fingerprints[site.name] = \
                     environment_fingerprint(environment)
+        obs.counter("engine.cache.discovery."
+                    + ("hits" if hit else "misses")).inc()
         return environment, hit
 
     def fingerprint_for(self, site) -> str:
@@ -253,9 +299,15 @@ class EvaluationEngine:
             self._fingerprints[site.name] = new
             changed = old is not None and old != new
             if changed:
+                dropped = [key for key in self._reports
+                           if key[0] == site.name]
                 self._reports = {
                     key: report for key, report in self._reports.items()
                     if key[0] != site.name}
+        if changed:
+            obs.event("engine.site_invalidated", site=site.name,
+                      dropped_cells=len(dropped), old=old, new=new)
+            obs.counter("engine.invalidations").inc()
         return changed
 
     # -- description cache -----------------------------------------------------------
@@ -278,12 +330,20 @@ class EvaluationEngine:
             cached = self._descriptions.get(key)
             if cached is not None:
                 self.stats.description_hits += 1
-                return cached, True
-        bdc = BinaryDescriptionComponent(site.toolbox())
-        description = bdc.describe(binary_path)
+        if cached is not None:
+            obs.counter("engine.cache.description.hits").inc()
+            return cached, True
+        with obs.span("engine.describe", site=site.name, path=binary_path,
+                      hit=False):
+            started = time.perf_counter()
+            bdc = BinaryDescriptionComponent(site.toolbox())
+            description = bdc.describe(binary_path)
+            obs.histogram("engine.describe.seconds").observe(
+                time.perf_counter() - started)
         with self._lock:
             self._descriptions[key] = description
             self.stats.description_misses += 1
+        obs.counter("engine.cache.description.misses").inc()
         return description, False
 
     # -- cell evaluation ---------------------------------------------------------------
@@ -304,6 +364,26 @@ class EvaluationEngine:
             raise ValueError(
                 "evaluate_cell needs a binary path, image bytes, or a "
                 "source bundle")
+        label = (binary_id or binary_path
+                 or (bundle.description.path if bundle is not None else "?"))
+        with obs.span("engine.cell", binary=label,
+                      site=site.name) as cell_span:
+            started = time.perf_counter()
+            report = self._evaluate_cell(
+                site, binary_path, image, binary_id, bundle, staging_tag)
+            cell_span.set_attrs(
+                ready=report.ready,
+                evaluation_hit=(report.cache.evaluation_hit
+                                if report.cache else False))
+            cell_span.add_sim_seconds(report.feam_seconds)
+            obs.histogram("engine.cell.wall_seconds").observe(
+                time.perf_counter() - started)
+            obs.histogram("engine.cell.sim_seconds").observe(
+                report.feam_seconds)
+        return report
+
+    def _evaluate_cell(self, site, binary_path, image, binary_id,
+                       bundle, staging_tag) -> TargetReport:
         if binary_path is None and image is not None:
             name = binary_id or content_digest(image)[:16]
             binary_path = posixpath.join(
@@ -335,6 +415,7 @@ class EvaluationEngine:
         if cached is not None:
             with self._lock:
                 self.stats.evaluation_hits += 1
+            obs.counter("engine.cache.evaluation.hits").inc()
             return dataclasses.replace(cached, cache=CellCacheInfo(
                 description_hit=True, discovery_hit=True,
                 evaluation_hit=True))
@@ -349,6 +430,7 @@ class EvaluationEngine:
         with self._lock:
             self.stats.evaluation_misses += 1
             self._reports[key] = report
+        obs.counter("engine.cache.evaluation.misses").inc()
         return report
 
     # -- the matrix ----------------------------------------------------------------------
@@ -364,25 +446,50 @@ class EvaluationEngine:
         """
         specs = [self._coerce(b, bundles) for b in binaries]
         workers = self.max_workers or min(8, max(1, len(sites)))
+        busy_seconds: list[float] = []  # one entry per site worker
 
-        def run_site(site) -> list[MatrixCell]:
-            cells = []
-            for spec in specs:
-                report = self.evaluate_cell(
-                    site, image=spec.image, binary_id=spec.binary_id,
-                    bundle=spec.bundle,
-                    staging_tag=f"{spec.binary_id}-{site.name}".replace(
-                        "/", "-"))
-                cells.append(MatrixCell(
-                    binary_id=spec.binary_id, site_name=site.name,
-                    report=report))
-            return cells
+        with obs.span("engine.matrix", binaries=len(specs),
+                      sites=len(sites), workers=workers) as matrix_span:
+            started = time.perf_counter()
 
-        if len(sites) <= 1 or workers <= 1:
-            per_site = [run_site(site) for site in sites]
-        else:
-            with ThreadPoolExecutor(max_workers=workers) as pool:
-                per_site = list(pool.map(run_site, sites))
+            def run_site(site) -> list[MatrixCell]:
+                worker_started = time.perf_counter()
+                with obs.span("engine.site", parent=matrix_span,
+                              site=site.name) as site_span:
+                    cells = []
+                    for spec in specs:
+                        report = self.evaluate_cell(
+                            site, image=spec.image,
+                            binary_id=spec.binary_id,
+                            bundle=spec.bundle,
+                            staging_tag=(f"{spec.binary_id}-{site.name}"
+                                         .replace("/", "-")))
+                        cells.append(MatrixCell(
+                            binary_id=spec.binary_id, site_name=site.name,
+                            report=report))
+                    site_span.set_attrs(
+                        cells=len(cells),
+                        ready=sum(c.ready for c in cells))
+                busy = time.perf_counter() - worker_started
+                busy_seconds.append(busy)
+                obs.histogram("engine.site.worker_seconds").observe(busy)
+                return cells
+
+            if len(sites) <= 1 or workers <= 1:
+                per_site = [run_site(site) for site in sites]
+            else:
+                with ThreadPoolExecutor(max_workers=workers) as pool:
+                    per_site = list(pool.map(run_site, sites))
+            elapsed = time.perf_counter() - started
+            # Worker utilization: busy time over the pool's capacity for
+            # the matrix's elapsed window (1.0 = every worker always busy).
+            capacity = elapsed * min(workers, max(1, len(sites)))
+            utilization = (sum(busy_seconds) / capacity) if capacity else 0.0
+            obs.gauge("engine.matrix.worker_utilization").set(
+                min(1.0, utilization))
+            matrix_span.set_attrs(
+                utilization=round(utilization, 3),
+                cells=len(specs) * len(sites))
         # Deterministic assembly: binary-major, site order as given.
         cells = [per_site[s][b]
                  for b in range(len(specs)) for s in range(len(sites))]

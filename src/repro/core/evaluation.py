@@ -32,6 +32,7 @@ import dataclasses
 import posixpath
 from typing import Optional
 
+from repro import obs
 from repro.core.bundle import SourceBundle
 from repro.core.config import FeamConfig
 from repro.core.description import BinaryDescription
@@ -154,6 +155,15 @@ class TargetEvaluationComponent:
     def assess_stack(self, stack: DiscoveredStack,
                      bundle: Optional[SourceBundle]) -> StackAssessment:
         """Functional tests for one candidate stack (Section V.C)."""
+        with obs.span("tec.assess_stack", stack=stack.label) as sp:
+            assessment = self._assess_stack(stack, bundle)
+            sp.set_attrs(native_ok=assessment.native_hello_ok,
+                         imported_ok=assessment.imported_hello_ok,
+                         usable=assessment.usable)
+        return assessment
+
+    def _assess_stack(self, stack: DiscoveredStack,
+                      bundle: Optional[SourceBundle]) -> StackAssessment:
         env = self.edc.env_for_stack(stack)
         native_ok: Optional[bool] = None
         imported_ok: Optional[bool] = None
@@ -243,23 +253,28 @@ class TargetEvaluationComponent:
         """
         mode = (PredictionMode.EXTENDED if bundle is not None
                 else PredictionMode.BASIC)
-        environment = self.environment()
-        ctx = DeterminantContext(
-            description=description,
-            environment=environment,
-            config=self.config,
-            services=self,
-            mode=mode,
-            binary_path=binary_path,
-            bundle=bundle,
-            staging_tag=staging_tag,
-        )
-        ctx.feam_seconds = (
-            self.config.feam_base_seconds
-            + self.config.feam_seconds_per_dependency
-            * len(description.needed))
-        results = self.registry.run(ctx)
-        ready = all(r.outcome is not Outcome.FAIL for r in results)
+        with obs.span("tec.evaluate", site=self.site.name,
+                      binary=description.path, mode=mode.value,
+                      tag=staging_tag) as sp:
+            environment = self.environment()
+            ctx = DeterminantContext(
+                description=description,
+                environment=environment,
+                config=self.config,
+                services=self,
+                mode=mode,
+                binary_path=binary_path,
+                bundle=bundle,
+                staging_tag=staging_tag,
+            )
+            ctx.feam_seconds = (
+                self.config.feam_base_seconds
+                + self.config.feam_seconds_per_dependency
+                * len(description.needed))
+            results = self.registry.run(ctx)
+            ready = all(r.outcome is not Outcome.FAIL for r in results)
+            sp.set_attrs(ready=ready, reasons=len(ctx.reasons))
+            sp.add_sim_seconds(ctx.feam_seconds)
         prediction = Prediction(
             ready=ready, mode=mode, determinants=results,
             stack_assessments=tuple(ctx.assessments),
@@ -286,6 +301,15 @@ class TargetEvaluationComponent:
         exists to expose.  Returns (ok, failure detail); ok is None when
         the outcome remains a loader failure (inconclusive).
         """
+        with obs.span("tec.hello_retest", stack=stack.label) as sp:
+            ok, detail = self._run_imported_hello(
+                stack, bundle, env, staging_dir)
+            sp.set_attrs(ok=ok, detail=detail or "passed")
+        return ok, detail
+
+    def _run_imported_hello(self, stack: DiscoveredStack,
+                            bundle: SourceBundle, env: Environment,
+                            staging_dir: str) -> tuple[Optional[bool], str]:
         image = bundle.hello.best() if bundle.hello else None
         if image is None or stack.prefix is None:
             return None, "no imported hello available"

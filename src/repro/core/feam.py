@@ -23,6 +23,7 @@ from __future__ import annotations
 import posixpath
 from typing import Optional
 
+from repro import obs
 from repro.core.bundle import HelloPrograms, SourceBundle
 from repro.core.config import FeamConfig
 from repro.core.description import (
@@ -65,13 +66,22 @@ class Feam:
         """
         toolbox = site.toolbox()
         effective_env = env if env is not None else site.machine.env
-        bdc = BinaryDescriptionComponent(toolbox, effective_env)
-        description = bdc.describe(binary_path)
-        libraries = bdc.gather_library_copies(
-            description, copy_excludes=self.config.copy_excludes)
-        edc = EnvironmentDiscoveryComponent(toolbox, effective_env)
-        guaranteed_env = edc.discover()
-        hello = self._compile_hellos(site, description, effective_env)
+        with obs.span("feam.source_phase", site=site.name,
+                      binary=binary_path) as sp:
+            bdc = BinaryDescriptionComponent(toolbox, effective_env)
+            with obs.span("bdc.describe", binary=binary_path):
+                description = bdc.describe(binary_path)
+            with obs.span("bdc.gather_copies") as gather_span:
+                libraries = bdc.gather_library_copies(
+                    description, copy_excludes=self.config.copy_excludes)
+                gather_span.set_attrs(
+                    libraries=len(libraries),
+                    copied=sum(1 for r in libraries if r.copied))
+            edc = EnvironmentDiscoveryComponent(toolbox, effective_env)
+            guaranteed_env = edc.discover()
+            hello = self._compile_hellos(site, description, effective_env)
+            sp.set_attrs(libraries=len(libraries),
+                         hello=(sorted(hello.images) if hello else []))
         bundle = SourceBundle(
             description=description,
             libraries=tuple(libraries),

@@ -23,6 +23,7 @@ import dataclasses
 import posixpath
 from typing import Optional
 
+from repro import obs
 from repro.core.bundle import SourceBundle
 from repro.core.config import FeamConfig
 from repro.core.description import LibraryRecord
@@ -185,22 +186,36 @@ class ResolutionModel:
         decisions: list[CopyDecision] = []
         to_stage: dict[str, LibraryRecord] = {}
         fs = self.toolbox.machine.fs
-        for soname in needed:
-            record = bundle.library(soname)
-            if record is None:
-                decisions.append(CopyDecision(
-                    soname, False, "not present in the source-phase bundle"))
-                continue
-            decision = self.copy_usable(record, bundle, env)
-            decisions.append(decision)
-            if decision.usable:
-                self._collect_closure(record, bundle, env, to_stage)
-        staged_paths: dict[str, str] = {}
-        for soname, record in to_stage.items():
-            assert record.image is not None
-            path = posixpath.join(staging_dir, soname)
-            fs.write(path, record.image, mode=0o755)
-            staged_paths[soname] = path
+        with obs.span("resolution.resolve", needed=len(needed),
+                      staging_dir=staging_dir) as sp:
+            for soname in needed:
+                with obs.span("resolution.copy", soname=soname) as copy_span:
+                    record = bundle.library(soname)
+                    if record is None:
+                        decision = CopyDecision(
+                            soname, False,
+                            "not present in the source-phase bundle")
+                    else:
+                        decision = self.copy_usable(record, bundle, env)
+                    copy_span.set_attrs(usable=decision.usable,
+                                        reason=decision.reason)
+                decisions.append(decision)
+                obs.counter("resolution.copies."
+                            + ("usable" if decision.usable
+                               else "unusable")).inc()
+                if decision.usable and record is not None:
+                    self._collect_closure(record, bundle, env, to_stage)
+            staged_paths: dict[str, str] = {}
+            for soname, record in to_stage.items():
+                assert record.image is not None
+                path = posixpath.join(staging_dir, soname)
+                fs.write(path, record.image, mode=0o755)
+                staged_paths[soname] = path
+                obs.event("resolution.staged", soname=soname,
+                          bytes=len(record.image), path=path)
+                obs.counter("resolution.staged_bytes").inc(
+                    len(record.image))
+            sp.set_attrs(staged=len(to_stage))
         decisions = [
             dataclasses.replace(d, staged_path=staged_paths.get(d.soname))
             if d.usable else d

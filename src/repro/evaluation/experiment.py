@@ -27,6 +27,7 @@ import dataclasses
 import re
 from typing import Optional
 
+from repro import obs
 from repro.core.bundle import SourceBundle
 from repro.core.config import FeamConfig
 from repro.core.engine import CacheStats
@@ -116,6 +117,9 @@ class ExperimentResult:
     #: Evaluation-engine cache counters for the whole run (description
     #: reuse across basic/extended cells, one discovery per site).
     cache_stats: Optional["CacheStats"] = None
+    #: The observability collector that was installed during the run
+    #: (``repro.obs.Collector``), or None when tracing was off.
+    observability: Optional[object] = None
 
     def of_suite(self, suite: Suite) -> list[MigrationRecord]:
         return [r for r in self.records if r.suite is suite]
@@ -169,16 +173,19 @@ def run_experiment(config: Optional[ExperimentConfig] = None,
     bundles: dict[str, SourceBundle] = {}
     source_seconds: dict[str, float] = {}
     merged_bundles: dict[str, Optional[SourceBundle]] = {}
-    for binary in corpus.binaries:
-        build_site = sites_by_name[binary.build_site]
-        stack = build_site.find_stack(binary.stack_slug)
-        env = build_site.env_with_stack(stack)
-        bundle = feam.run_source_phase(build_site, binary.path, env=env)
-        bundles[binary.binary_id] = bundle
-        source_seconds[binary.binary_id] = 30.0 + 2.0 * len(bundle.libraries)
-        merged = merged_bundles.get(binary.build_site)
-        merged_bundles[binary.build_site] = (
-            bundle if merged is None else merged.merged_with(bundle))
+    with obs.span("experiment.source_phases",
+                  binaries=len(corpus.binaries)):
+        for binary in corpus.binaries:
+            build_site = sites_by_name[binary.build_site]
+            stack = build_site.find_stack(binary.stack_slug)
+            env = build_site.env_with_stack(stack)
+            bundle = feam.run_source_phase(build_site, binary.path, env=env)
+            bundles[binary.binary_id] = bundle
+            source_seconds[binary.binary_id] = \
+                30.0 + 2.0 * len(bundle.libraries)
+            merged = merged_bundles.get(binary.build_site)
+            merged_bundles[binary.build_site] = (
+                bundle if merged is None else merged.merged_with(bundle))
 
     bundle_bytes_by_site = {
         site: merged.copy_bytes
@@ -200,42 +207,54 @@ def run_experiment(config: Optional[ExperimentConfig] = None,
                 binary.binary_id, "bin")
             target.machine.fs.write(migrated_path, binary.image, mode=0o755)
 
-            basic = feam.run_target_phase(
-                target, binary_path=migrated_path,
-                staging_tag=_safe_tag(binary.binary_id, "basic"))
-            extended = feam.run_target_phase(
-                target, binary_path=migrated_path, bundle=bundle,
-                staging_tag=_safe_tag(binary.binary_id, "ext"))
-            max_target_seconds = max(
-                max_target_seconds, basic.feam_seconds,
-                extended.feam_seconds)
+            with obs.span("experiment.migrate", binary=binary.binary_id,
+                          target=target.name) as migrate_span:
+                basic = feam.run_target_phase(
+                    target, binary_path=migrated_path,
+                    staging_tag=_safe_tag(binary.binary_id, "basic"))
+                extended = feam.run_target_phase(
+                    target, binary_path=migrated_path, bundle=bundle,
+                    staging_tag=_safe_tag(binary.binary_id, "ext"))
+                max_target_seconds = max(
+                    max_target_seconds, basic.feam_seconds,
+                    extended.feam_seconds)
 
-            curse = cfg.corpus.curse_for(binary.suite)
-            before = _run_actual(
-                target, binary, naive, target.env_with_stack(naive),
-                curse, cfg.execution_attempts, "before")
+                curse = cfg.corpus.curse_for(binary.suite)
+                with obs.span("experiment.execute", phase="before"):
+                    before = _run_actual(
+                        target, binary, naive, target.env_with_stack(naive),
+                        curse, cfg.execution_attempts, "before")
 
-            # After resolution: FEAM's stack and environment when it
-            # produced one; otherwise the naive run stands.
-            after = before
-            feam_stack_label = None
-            if extended.selected_stack_prefix is not None:
-                feam_stack = target.stack_by_prefix(
-                    extended.selected_stack_prefix)
-                feam_stack_label = feam_stack.spec.slug
-                env_after = extended.run_environment
-                if env_after is None:
-                    env_after = target.env_with_stack(feam_stack)
-                    if extended.resolution is not None:
-                        for var, path in extended.resolution.env_additions:
-                            env_after.prepend_path(var, path)
-                changed = (feam_stack.spec.slug != naive.spec.slug
-                           or (extended.resolution is not None
-                               and bool(extended.resolution.staged)))
-                if changed:
-                    after = _run_actual(
-                        target, binary, feam_stack, env_after,
-                        curse, cfg.execution_attempts, "after")
+                # After resolution: FEAM's stack and environment when it
+                # produced one; otherwise the naive run stands.
+                after = before
+                feam_stack_label = None
+                if extended.selected_stack_prefix is not None:
+                    feam_stack = target.stack_by_prefix(
+                        extended.selected_stack_prefix)
+                    feam_stack_label = feam_stack.spec.slug
+                    env_after = extended.run_environment
+                    if env_after is None:
+                        env_after = target.env_with_stack(feam_stack)
+                        if extended.resolution is not None:
+                            for var, path in \
+                                    extended.resolution.env_additions:
+                                env_after.prepend_path(var, path)
+                    changed = (feam_stack.spec.slug != naive.spec.slug
+                               or (extended.resolution is not None
+                                   and bool(extended.resolution.staged)))
+                    if changed:
+                        with obs.span("experiment.execute", phase="after"):
+                            after = _run_actual(
+                                target, binary, feam_stack, env_after,
+                                curse, cfg.execution_attempts, "after")
+
+                migrate_span.set_attrs(
+                    basic_ready=basic.ready, extended_ready=extended.ready,
+                    before_ok=before.ok, after_ok=after.ok)
+                migrate_span.add_sim_seconds(
+                    basic.feam_seconds + extended.feam_seconds)
+                obs.counter("experiment.migrations").inc()
 
             resolution = extended.resolution
             records.append(MigrationRecord(
@@ -271,6 +290,10 @@ def run_experiment(config: Optional[ExperimentConfig] = None,
         if progress and (index + 1) % 25 == 0:
             print(f"  migrated {index + 1}/{len(corpus.binaries)} binaries")
 
+    # Surface the engine's cache tallies as metrics and hand the
+    # installed collector (if any) to downstream report generation.
+    stats = feam.engine.stats.snapshot()
+    obs.metrics().absorb_cache_stats(stats)
     return ExperimentResult(
         records=records,
         corpus=corpus,
@@ -279,5 +302,6 @@ def run_experiment(config: Optional[ExperimentConfig] = None,
         max_source_phase_seconds=max(source_seconds.values(), default=0.0),
         max_target_phase_seconds=max_target_seconds,
         config=cfg,
-        cache_stats=feam.engine.stats.snapshot(),
+        cache_stats=stats,
+        observability=obs.current() if obs.is_active() else None,
     )

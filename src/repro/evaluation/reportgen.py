@@ -173,4 +173,52 @@ def render_markdown_report(result: ExperimentResult) -> str:
                 row.append(f"{counts[0]}/{counts[1]}" if counts else "n/a")
         out("| " + " | ".join(row) + " |")
     out("")
+
+    for line in _trace_summary(result):
+        out(line)
     return "\n".join(lines)
+
+
+def _trace_summary(result: ExperimentResult) -> list[str]:
+    """The observability section: span/metric totals for the run.
+
+    Rendered only when the experiment ran under an installed collector
+    (``repro.obs.capture``); ``python -m repro`` always installs one.
+    """
+    collector = result.observability
+    if collector is None or not getattr(collector, "spans", None):
+        return []
+    lines: list[str] = []
+    out = lines.append
+    spans = collector.spans
+    events = collector.events.events
+
+    out("## Observability (traced run)")
+    out("")
+    out(f"{len(spans)} spans and {len(events)} events were collected; "
+        f"rerun with `--trace-out FILE.jsonl` for the full trace.")
+    out("")
+
+    by_name: dict[str, list] = {}
+    for span in spans:
+        by_name.setdefault(span.name, []).append(span)
+    out("| span | count | total wall (s) | total sim (s) |")
+    out("|---|---|---|---|")
+    for name in sorted(by_name):
+        group = by_name[name]
+        wall = sum(s.wall_seconds or 0.0 for s in group)
+        sim = sum(s.sim_seconds for s in group)
+        out(f"| `{name}` | {len(group)} | {wall:.3f} | {sim:.1f} |")
+    out("")
+
+    summary = collector.metrics.histogram(
+        "engine.cell.wall_seconds").summary()
+    if summary["count"]:
+        out(f"- evaluation cells: {summary['count']} "
+            f"(wall p50 {summary['p50'] * 1e3:.1f} ms, "
+            f"p95 {summary['p95'] * 1e3:.1f} ms, "
+            f"max {summary['max'] * 1e3:.1f} ms)")
+    if result.cache_stats is not None:
+        out(f"- engine caches: {result.cache_stats.render()}")
+    out("")
+    return lines

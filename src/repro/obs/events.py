@@ -1,0 +1,61 @@
+"""The event log: discrete facts that are not durations.
+
+Spans time *operations*; events record *moments* -- a determinant
+outcome being amended after later evidence, a site's caches being
+invalidated, one library copy landing in a staging directory.  Each
+event carries a name, a monotonic sequence number (total order across
+threads), the emitting thread, the wall-clock offset and free-form
+attributes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+import time
+
+
+@dataclasses.dataclass(frozen=True)
+class Event:
+    """One discrete observability fact."""
+
+    name: str
+    seq: int
+    wall: float
+    thread: str
+    attrs: dict
+
+
+class EventLog:
+    """Append-only, thread-safe event collection."""
+
+    def __init__(self, clock=time.perf_counter) -> None:
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._seq = 0
+        self.events: list[Event] = []
+
+    def emit(self, name: str, **attrs) -> Event:
+        with self._lock:
+            self._seq += 1
+            event = Event(
+                name=name, seq=self._seq, wall=self._clock(),
+                thread=threading.current_thread().name, attrs=attrs)
+            self.events.append(event)
+        return event
+
+    def named(self, name: str) -> list[Event]:
+        with self._lock:
+            return [e for e in self.events if e.name == name]
+
+
+class NullEventLog:
+    """Absorbs emissions when no collector is installed."""
+
+    events: tuple = ()
+
+    def emit(self, name: str, **attrs) -> None:
+        return None
+
+    def named(self, name: str) -> list:
+        return []

@@ -1,0 +1,202 @@
+"""Trace serialization: JSONL out, span trees back in.
+
+One line per record, ``type`` discriminated:
+
+* ``{"type": "span", "id", "parent", "name", "attrs", "start", "wall",
+  "sim", "thread", "status"}``
+* ``{"type": "event", "name", "seq", "wall", "thread", "attrs"}``
+* ``{"type": "metrics", "counters", "gauges", "histograms"}`` (one
+  trailing snapshot line)
+
+Attribute values that are not JSON-native (enums, dataclasses, paths)
+are stringified on export; sonames and reason strings with embedded
+quotes, backslashes or control characters round-trip through standard
+JSON escaping (``tests/test_obs_export.py`` pins this).
+
+:func:`parse_jsonl` reconstructs the spans/events/metrics;
+:func:`span_tree` links spans into parent/child order and
+:func:`render_span_tree` pretty-prints the hierarchy (the ``feam
+trace`` output).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Optional
+
+from repro.obs.events import Event
+from repro.obs.tracer import Span
+
+_JSON_NATIVE = (str, int, float, bool, type(None))
+
+
+def _plain(value):
+    """Coerce an attribute value to something JSON-native."""
+    if isinstance(value, _JSON_NATIVE):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_plain(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _plain(v) for k, v in value.items()}
+    return str(value)
+
+
+def _plain_attrs(attrs: dict) -> dict:
+    return {str(k): _plain(v) for k, v in attrs.items()}
+
+
+def span_record(span: Span) -> dict:
+    return {
+        "type": "span",
+        "id": span.span_id,
+        "parent": span.parent_id,
+        "name": span.name,
+        "attrs": _plain_attrs(span.attrs),
+        "start": span.start_wall,
+        "wall": span.wall_seconds,
+        "sim": span.sim_seconds,
+        "thread": span.thread,
+        "status": span.status,
+    }
+
+
+def event_record(event: Event) -> dict:
+    return {
+        "type": "event",
+        "name": event.name,
+        "seq": event.seq,
+        "wall": event.wall,
+        "thread": event.thread,
+        "attrs": _plain_attrs(event.attrs),
+    }
+
+
+def export_jsonl(collector) -> str:
+    """Serialize a collector's spans, events and metrics snapshot."""
+    lines = [json.dumps(span_record(span), sort_keys=True)
+             for span in collector.tracer.spans]
+    lines.extend(json.dumps(event_record(event), sort_keys=True)
+                 for event in collector.events.events)
+    metrics = collector.metrics.to_dict()
+    metrics["type"] = "metrics"
+    lines.append(json.dumps(metrics, sort_keys=True))
+    return "\n".join(lines) + "\n"
+
+
+@dataclasses.dataclass
+class ParsedTrace:
+    """The decoded contents of one JSONL trace file."""
+
+    spans: list[Span]
+    events: list[Event]
+    metrics: dict
+
+    def spans_named(self, name: str) -> list[Span]:
+        return [s for s in self.spans if s.name == name]
+
+
+def parse_jsonl(text: str) -> ParsedTrace:
+    """Decode :func:`export_jsonl` output back into spans and events."""
+    spans: list[Span] = []
+    events: list[Event] = []
+    metrics: dict = {"counters": {}, "gauges": {}, "histograms": {}}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"trace line {lineno}: invalid JSON "
+                             f"({exc})") from exc
+        kind = record.get("type")
+        if kind == "span":
+            spans.append(Span(
+                name=record["name"], span_id=record["id"],
+                parent_id=record["parent"], attrs=record["attrs"],
+                start_wall=record["start"],
+                wall_seconds=record["wall"],
+                sim_seconds=record.get("sim", 0.0),
+                thread=record.get("thread", ""),
+                status=record.get("status", "ok")))
+        elif kind == "event":
+            events.append(Event(
+                name=record["name"], seq=record["seq"],
+                wall=record["wall"], thread=record.get("thread", ""),
+                attrs=record["attrs"]))
+        elif kind == "metrics":
+            metrics = {key: record.get(key, {})
+                       for key in ("counters", "gauges", "histograms")}
+        else:
+            raise ValueError(
+                f"trace line {lineno}: unknown record type {kind!r}")
+    return ParsedTrace(spans=spans, events=events, metrics=metrics)
+
+
+@dataclasses.dataclass
+class SpanNode:
+    """One span with its children, start-ordered."""
+
+    span: Span
+    children: list["SpanNode"] = dataclasses.field(default_factory=list)
+
+
+def span_tree(spans: list[Span]) -> list[SpanNode]:
+    """Link spans into root nodes (unknown parents become roots)."""
+    nodes = {span.span_id: SpanNode(span) for span in spans}
+    roots: list[SpanNode] = []
+    for span in spans:
+        node = nodes[span.span_id]
+        parent = (nodes.get(span.parent_id)
+                  if span.parent_id is not None else None)
+        if parent is None:
+            roots.append(node)
+        else:
+            parent.children.append(node)
+    for node in nodes.values():
+        node.children.sort(key=lambda n: (n.span.start_wall,
+                                          n.span.span_id))
+    roots.sort(key=lambda n: (n.span.start_wall, n.span.span_id))
+    return roots
+
+
+def _display(value) -> str:
+    return str(_plain(value)).replace("\n", "\\n").replace("\r", "\\r")
+
+
+def _format_span(span: Span) -> str:
+    parts = [span.name]
+    attrs = ", ".join(f"{k}={_display(v)}" for k, v in span.attrs.items())
+    if attrs:
+        parts.append(f"[{attrs}]")
+    if span.sim_seconds:
+        parts.append(f"sim={span.sim_seconds:.1f}s")
+    if span.wall_seconds is not None:
+        parts.append(f"wall={span.wall_seconds * 1000:.2f}ms")
+    if span.status != "ok":
+        parts.append(f"status={span.status}")
+    return " ".join(parts)
+
+
+def render_span_tree(spans: list[Span]) -> str:
+    """Pretty-print the hierarchy (the ``feam trace`` output)."""
+    lines: list[str] = []
+
+    def walk(node: SpanNode, prefix: str, tail: str) -> None:
+        lines.append(prefix + tail + _format_span(node.span))
+        child_prefix = prefix + ("   " if tail == "`- " else
+                                 "|  " if tail == "|- " else "")
+        for index, child in enumerate(node.children):
+            last = index == len(node.children) - 1
+            walk(child, child_prefix, "`- " if last else "|- ")
+
+    for root in span_tree(spans):
+        walk(root, "", "")
+    return "\n".join(lines)
+
+
+def write_jsonl(path: str, collector) -> None:
+    """Write the collector's trace to a real file on the host."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(export_jsonl(collector))

@@ -1,0 +1,126 @@
+"""JSONL trace round-trip: export, parse, rebuild the span tree."""
+
+import pytest
+
+from repro import obs
+from repro.obs.export import (
+    export_jsonl,
+    parse_jsonl,
+    render_span_tree,
+    span_tree,
+)
+
+#: Sonames nobody should ever ship -- but attribute escaping must
+#: survive them anyway (quotes, backslashes, newlines, non-ASCII).
+ODD_SONAMES = [
+    'lib"quoted".so.1',
+    "lib\\back\\slash.so",
+    "libnew\nline.so.6",
+    "libctrl\x07bell.so",
+    "libüñïcode.so.2",
+]
+
+
+def _traced_collector():
+    with obs.capture() as collector:
+        with obs.span("root", kind="demo") as root:
+            root.add_sim_seconds(4.5)
+            with obs.span("child-a", index=0):
+                obs.event("tick", step=1)
+            with obs.span("child-b", index=1):
+                with obs.span("grandchild", deep=True):
+                    pass
+        obs.counter("demo.count").inc(3)
+        obs.histogram("demo.seconds").observe(0.02)
+    return collector
+
+
+class TestRoundTrip:
+    def test_every_line_is_json(self):
+        import json
+        text = export_jsonl(_traced_collector())
+        lines = text.strip().splitlines()
+        assert len(lines) == 4 + 1 + 1  # spans + event + metrics
+        for line in lines:
+            json.loads(line)
+
+    def test_spans_events_metrics_survive(self):
+        collector = _traced_collector()
+        parsed = parse_jsonl(export_jsonl(collector))
+        assert len(parsed.spans) == len(collector.spans)
+        by_name = {s.name: s for s in parsed.spans}
+        root = by_name["root"]
+        assert root.attrs == {"kind": "demo"}
+        assert root.sim_seconds == pytest.approx(4.5)
+        assert root.parent_id is None
+        assert by_name["grandchild"].parent_id == by_name["child-b"].span_id
+        (event,) = parsed.events
+        assert event.name == "tick" and event.attrs == {"step": 1}
+        assert parsed.metrics["counters"]["demo.count"] == 3
+        assert parsed.metrics["histograms"]["demo.seconds"]["count"] == 1
+
+    def test_tree_reconstruction_matches_original(self):
+        collector = _traced_collector()
+        parsed = parse_jsonl(export_jsonl(collector))
+
+        def shape(roots):
+            return [(n.span.name, shape(n.children)) for n in roots]
+
+        assert shape(span_tree(parsed.spans)) == \
+            shape(span_tree(collector.spans))
+        assert shape(span_tree(parsed.spans)) == [
+            ("root", [("child-a", []), ("child-b", [("grandchild", [])])])]
+
+    def test_odd_sonames_round_trip_exactly(self):
+        with obs.capture() as collector:
+            for soname in ODD_SONAMES:
+                with obs.span("resolution.copy", soname=soname):
+                    pass
+                obs.event("resolution.staged", soname=soname)
+        parsed = parse_jsonl(export_jsonl(collector))
+        assert [s.attrs["soname"] for s in parsed.spans] == ODD_SONAMES
+        assert [e.attrs["soname"] for e in parsed.events] == ODD_SONAMES
+
+    def test_non_native_attrs_are_stringified(self):
+        from repro.core.prediction import Outcome
+        with obs.capture() as collector:
+            with obs.span("op", outcome=Outcome.PASS, path=("a", "b")):
+                pass
+        parsed = parse_jsonl(export_jsonl(collector))
+        attrs = parsed.spans[0].attrs
+        assert isinstance(attrs["outcome"], str)
+        assert attrs["path"] == ["a", "b"]
+
+
+class TestParseErrors:
+    def test_invalid_json_names_the_line(self):
+        with pytest.raises(ValueError, match="line 2"):
+            parse_jsonl('{"type": "metrics"}\n{not json}\n')
+
+    def test_unknown_record_type_rejected(self):
+        with pytest.raises(ValueError, match="unknown record type"):
+            parse_jsonl('{"type": "mystery"}\n')
+
+    def test_blank_lines_ignored(self):
+        parsed = parse_jsonl("\n\n")
+        assert parsed.spans == [] and parsed.events == []
+
+
+class TestRender:
+    def test_tree_render_escapes_newlines_and_shows_outcomes(self):
+        with obs.capture() as collector:
+            with obs.span("determinant", key="isa", outcome="pass"):
+                with obs.span("resolution.copy",
+                              soname="libnew\nline.so.6"):
+                    pass
+        rendered = render_span_tree(collector.spans)
+        assert "libnew\\nline.so.6" in rendered  # literal, not a break
+        assert "\n`- resolution.copy" in rendered
+        assert "outcome=pass" in rendered
+
+    def test_orphan_parent_becomes_root(self):
+        collector = _traced_collector()
+        parsed = parse_jsonl(export_jsonl(collector))
+        orphans = [s for s in parsed.spans if s.name != "root"]
+        roots = span_tree(orphans)  # root span withheld
+        assert {n.span.name for n in roots} == {"child-a", "child-b"}
