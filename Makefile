@@ -2,7 +2,8 @@
 
 PYTHON ?= python3
 
-.PHONY: install test ci bench bench-matrix trace tables report examples clean
+.PHONY: install test ci bench bench-matrix perf-gate serve slo trace \
+	tables report examples clean
 
 install:
 	pip install -e .
@@ -17,7 +18,17 @@ bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
 bench-matrix:
-	PYTHONPATH=src $(PYTHON) benchmarks/emit_bench.py BENCH_matrix.json
+	PYTHONPATH=src $(PYTHON) benchmarks/emit_bench.py BENCH_matrix.json \
+		benchmarks/BENCH_history.jsonl
+
+perf-gate: bench-matrix
+	PYTHONPATH=src $(PYTHON) benchmarks/check_regression.py
+
+serve:
+	PYTHONPATH=src $(PYTHON) -m repro feam serve
+
+slo:
+	PYTHONPATH=src $(PYTHON) -m repro feam slo
 
 trace:
 	PYTHONPATH=src $(PYTHON) -m repro feam trace --trace-out trace.jsonl

@@ -27,14 +27,30 @@ EvaluationEngine`, printing the readiness grid and cache statistics
   collector and pretty-print the span tree (every determinant check,
   the discovery step and each resolution copy);
 * ``feam stats`` -- run a batch evaluation and dump the metrics
-  registry (counters, gauges, histogram summaries).
+  registry (counters, gauges, histogram summaries);
+* ``feam top`` -- aggregate a JSONL trace into a flame table (per
+  span name: call count, total/self wall and sim time) and optionally
+  its critical path;
+* ``feam diff-trace A B`` -- per-span-name deltas between two traces,
+  with an optional regression gate (``--fail-above``);
+* ``feam slo`` -- evaluate declarative threshold rules against a live
+  batch run (or a recorded trace's metrics snapshot) and exit non-zero
+  on violation;
+* ``feam serve`` -- run a batch evaluation while exposing ``/metrics``
+  (Prometheus text format), ``/healthz``, ``/trace`` and ``/slo`` over
+  HTTP.
+
+``feam`` subcommands use distinct exit codes so CI can tell failure
+modes apart: 1 = operational error (bad input, unknown site), 2 = SLO
+violation, 3 = performance regression gate tripped.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.evaluation import figures, tables
 from repro.evaluation.experiment import ExperimentResult, run_experiment
@@ -76,6 +92,13 @@ _EXPERIMENTAL = {
     "ablation": _render_ablation,
     "report": _render_report,
 }
+
+# ``feam`` exit codes: distinct per failure mode so scripts and CI can
+# branch on them (covered by tests/test_cli.py).
+EXIT_OK = 0
+EXIT_FAILURE = 1        # operational error: missing file, unknown site
+EXIT_SLO_VIOLATION = 2  # one or more SLO rules failed
+EXIT_REGRESSION = 3     # performance regression gate tripped
 
 
 def feam_main(argv: Optional[list[str]] = None) -> int:
@@ -150,6 +173,105 @@ def feam_main(argv: Optional[list[str]] = None) -> int:
         "--workers", type=int, default=None,
         help="thread-pool size for the per-site planner")
 
+    top = sub.add_parser(
+        "top",
+        help="aggregate a JSONL trace into a flame table (count, "
+             "total/self wall and sim time per span name)")
+    top.add_argument("trace", help="JSONL trace file (feam matrix "
+                                   "--trace-out / feam trace --trace-out)")
+    top.add_argument(
+        "--sort", default="wall_self",
+        choices=("wall_self", "wall_total", "sim_self", "sim_total",
+                 "count"),
+        help="flame table sort key (default: wall_self)")
+    top.add_argument(
+        "--limit", type=int, default=30,
+        help="rows to print (default: 30)")
+    top.add_argument(
+        "--critical-path", action="store_true",
+        help="also print the heaviest root-to-leaf chain")
+    top.add_argument(
+        "--clock", default="wall", choices=("wall", "sim"),
+        help="clock for the critical path (default: wall)")
+
+    diff = sub.add_parser(
+        "diff-trace",
+        help="per-span-name deltas between two JSONL traces; with "
+             "--fail-above, exit 3 when the regression gate trips")
+    diff.add_argument("base", help="baseline JSONL trace")
+    diff.add_argument("curr", help="current JSONL trace")
+    diff.add_argument(
+        "--limit", type=int, default=30,
+        help="rows to print (default: 30)")
+    diff.add_argument(
+        "--fail-above", type=float, default=None, metavar="RATIO",
+        help="regression gate: exit 3 when total wall time (or any "
+             "span name with >= --min-wall baseline) grows beyond "
+             "RATIO x baseline (e.g. 1.25)")
+    diff.add_argument(
+        "--min-wall", type=float, default=0.001, metavar="SECONDS",
+        help="ignore per-name regressions below this baseline wall "
+             "time (default: 0.001)")
+
+    slo = sub.add_parser(
+        "slo",
+        help="evaluate SLO threshold rules against a live batch run "
+             "(or a recorded trace) and exit 2 on violation")
+    slo.add_argument(
+        "--rules", metavar="FILE", default=None,
+        help="rules file (one 'metric <= 0.5' per line, '#' comments, "
+             "trailing '?' marks a rule optional); default: built-in "
+             "warm-run objectives")
+    slo.add_argument(
+        "--trace", metavar="FILE.jsonl", default=None,
+        help="evaluate against this trace's metrics snapshot instead "
+             "of running a live evaluation")
+    slo.add_argument(
+        "--rounds", type=int, default=2,
+        help="matrix evaluations to run before checking (default: 2 "
+             "-- the second round exercises the warm cache path)")
+    slo.add_argument(
+        "--json", action="store_true",
+        help="emit the report as JSON instead of a table")
+    for live_arg in (slo,):
+        live_arg.add_argument("--seed", type=int, default=20130101,
+                              help="world seed (default: 20130101)")
+        live_arg.add_argument("--binaries", type=int, default=4,
+                              help="test binaries to compile (default: 4)")
+        live_arg.add_argument("--extended", action="store_true",
+                              help="also run source phases")
+        live_arg.add_argument("--workers", type=int, default=None,
+                              help="thread-pool size")
+
+    serve = sub.add_parser(
+        "serve",
+        help="run a batch evaluation while serving /metrics "
+             "(Prometheus), /healthz, /trace and /slo over HTTP")
+    serve.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address (default: 127.0.0.1)")
+    serve.add_argument(
+        "--port", type=int, default=9464,
+        help="bind port; 0 picks a free one (default: 9464)")
+    serve.add_argument(
+        "--rounds", type=int, default=2,
+        help="matrix evaluations to run while serving (default: 2)")
+    serve.add_argument(
+        "--linger", type=float, default=-1.0, metavar="SECONDS",
+        help="keep serving this long after the run (negative = until "
+             "interrupted; default: -1)")
+    serve.add_argument(
+        "--rules", metavar="FILE", default=None,
+        help="SLO rules file for the /slo endpoint")
+    serve.add_argument("--seed", type=int, default=20130101,
+                       help="world seed (default: 20130101)")
+    serve.add_argument("--binaries", type=int, default=4,
+                       help="test binaries to compile (default: 4)")
+    serve.add_argument("--extended", action="store_true",
+                       help="also run source phases")
+    serve.add_argument("--workers", type=int, default=None,
+                       help="thread-pool size")
+
     args = parser.parse_args(argv)
     if args.command == "matrix":
         return _feam_matrix(args)
@@ -157,6 +279,14 @@ def feam_main(argv: Optional[list[str]] = None) -> int:
         return _feam_trace(args)
     if args.command == "stats":
         return _feam_stats(args)
+    if args.command == "top":
+        return _feam_top(args)
+    if args.command == "diff-trace":
+        return _feam_diff_trace(args)
+    if args.command == "slo":
+        return _feam_slo(args)
+    if args.command == "serve":
+        return _feam_serve(args)
     return 2  # pragma: no cover - argparse enforces the choices
 
 
@@ -232,7 +362,7 @@ def _feam_trace(args) -> int:
         if name not in sites:
             print(f"unknown {role} site {name!r}; choose from "
                   f"{', '.join(sorted(sites))}", file=sys.stderr)
-            return 2
+            return EXIT_FAILURE
     build_site = sites[args.build_site]
     target = sites[args.target_site]
     if args.stack is not None:
@@ -242,7 +372,7 @@ def _feam_trace(args) -> int:
             print(f"no stack {args.stack!r} at {build_site.name}; choose "
                   f"from {', '.join(s.spec.slug for s in build_site.stacks)}",
                   file=sys.stderr)
-            return 2
+            return EXIT_FAILURE
     else:
         stack = build_site.stacks[0]
     name = f"traced-{build_site.name}-{stack.spec.slug}"
@@ -274,6 +404,170 @@ def _feam_trace(args) -> int:
         obs.export.write_jsonl(args.trace_out, collector)
         print(f"trace written to {args.trace_out}", file=sys.stderr)
     return 0
+
+
+def _load_trace_spans(path: str):
+    """Spans from a JSONL trace, or None (after an stderr message)."""
+    from repro.obs.analyze import spans_from_jsonl_file
+
+    try:
+        return spans_from_jsonl_file(path)
+    except OSError as exc:
+        print(f"cannot read trace {path!r}: {exc}", file=sys.stderr)
+    except ValueError as exc:
+        print(f"malformed trace {path!r}: {exc}", file=sys.stderr)
+    return None
+
+
+def _feam_top(args) -> int:
+    from repro.obs import analyze
+
+    spans = _load_trace_spans(args.trace)
+    if spans is None:
+        return EXIT_FAILURE
+    prof = analyze.profile(spans)
+    print(analyze.render_top(prof, sort=args.sort, limit=args.limit))
+    if args.critical_path:
+        print()
+        print(analyze.render_critical_path(
+            analyze.critical_path(spans, clock=args.clock),
+            clock=args.clock))
+    return EXIT_OK
+
+
+def _feam_diff_trace(args) -> int:
+    from repro.obs import analyze
+
+    base_spans = _load_trace_spans(args.base)
+    curr_spans = _load_trace_spans(args.curr)
+    if base_spans is None or curr_spans is None:
+        return EXIT_FAILURE
+    base = analyze.profile(base_spans)
+    curr = analyze.profile(curr_spans)
+    deltas = analyze.diff_profiles(base, curr)
+    print(analyze.render_diff(deltas, limit=args.limit))
+    if args.fail_above is None:
+        return EXIT_OK
+
+    regressions: list[str] = []
+    base_wall = sum(f.wall_total for f in base.frames.values())
+    curr_wall = sum(f.wall_total for f in curr.frames.values())
+    if base_wall > 0 and curr_wall > base_wall * args.fail_above:
+        regressions.append(
+            f"total wall {base_wall:.4f}s -> {curr_wall:.4f}s "
+            f"({curr_wall / base_wall:.2f}x > {args.fail_above:g}x)")
+    for delta in deltas:
+        ratio = delta.wall_ratio
+        if (ratio is not None and delta.base is not None
+                and delta.base.wall_total >= args.min_wall
+                and ratio > args.fail_above):
+            regressions.append(
+                f"{delta.name}: {delta.base.wall_total:.4f}s -> "
+                f"{delta.curr.wall_total if delta.curr else 0.0:.4f}s "
+                f"({ratio:.2f}x > {args.fail_above:g}x)")
+    if regressions:
+        print(f"\nREGRESSION (gate {args.fail_above:g}x):",
+              file=sys.stderr)
+        for line in regressions:
+            print(f"  {line}", file=sys.stderr)
+        return EXIT_REGRESSION
+    print(f"\nregression gate {args.fail_above:g}x: ok", file=sys.stderr)
+    return EXIT_OK
+
+
+def _load_slo_rules(path: Optional[str]):
+    """Rules from *path*, built-in defaults for None, None on error."""
+    from repro.obs import slo as slo_mod
+
+    if path is None:
+        return slo_mod.DEFAULT_RULES
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return slo_mod.parse_rules(handle.read())
+    except OSError as exc:
+        print(f"cannot read rules {path!r}: {exc}", file=sys.stderr)
+    except ValueError as exc:
+        print(f"bad rules file {path!r}: {exc}", file=sys.stderr)
+    return None
+
+
+def _feam_slo(args) -> int:
+    import json
+
+    from repro import obs
+    from repro.obs import slo as slo_mod
+
+    rules = _load_slo_rules(args.rules)
+    if rules is None:
+        return EXIT_FAILURE
+
+    if args.trace:
+        try:
+            with open(args.trace, "r", encoding="utf-8") as handle:
+                parsed = obs.export.parse_jsonl(handle.read())
+        except (OSError, ValueError) as exc:
+            print(f"cannot read trace {args.trace!r}: {exc}",
+                  file=sys.stderr)
+            return EXIT_FAILURE
+        report = slo_mod.evaluate(rules, parsed.metrics)
+    else:
+        sites, engine, binaries, bundles = _build_matrix_inputs(args)
+        print(f"evaluating {len(binaries)} binaries x {len(sites)} "
+              f"sites, {max(1, args.rounds)} round(s)...", file=sys.stderr)
+        with obs.capture():
+            for _ in range(max(1, args.rounds)):
+                engine.evaluate_matrix(
+                    binaries, sites, bundles=bundles or None)
+            report = slo_mod.check(rules)
+
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render())
+    return EXIT_OK if report.ok else EXIT_SLO_VIOLATION
+
+
+def _feam_serve(args) -> int:
+    import time as time_mod
+
+    from repro import obs
+    from repro.obs import slo as slo_mod
+    from repro.obs.serve import TelemetryServer
+
+    rules = _load_slo_rules(args.rules)
+    if rules is None:
+        return EXIT_FAILURE
+    sites, engine, binaries, bundles = _build_matrix_inputs(args)
+    with obs.capture() as collector:
+        try:
+            server = TelemetryServer(collector, host=args.host,
+                                     port=args.port, rules=rules)
+        except OSError as exc:
+            print(f"cannot bind {args.host}:{args.port}: {exc}",
+                  file=sys.stderr)
+            return EXIT_FAILURE
+        with server:
+            print(f"serving {server.url}/metrics (+ /healthz /trace "
+                  f"/slo)", file=sys.stderr)
+            print(f"evaluating {len(binaries)} binaries x {len(sites)} "
+                  f"sites, {max(1, args.rounds)} round(s)...",
+                  file=sys.stderr)
+            for _ in range(max(1, args.rounds)):
+                engine.evaluate_matrix(
+                    binaries, sites, bundles=bundles or None)
+            report = slo_mod.check(rules)
+            print(report.render(), file=sys.stderr)
+            try:
+                if args.linger < 0:
+                    print("run finished; still serving -- Ctrl-C to "
+                          "stop", file=sys.stderr)
+                    while True:
+                        time_mod.sleep(3600)
+                elif args.linger:
+                    time_mod.sleep(args.linger)
+            except KeyboardInterrupt:
+                pass
+    return EXIT_OK
 
 
 def main(argv: Optional[list[str]] = None) -> int:
@@ -325,5 +619,24 @@ def main(argv: Optional[list[str]] = None) -> int:
     return 0
 
 
+def _run(entry: "Callable[[], int]") -> int:
+    """Run a CLI entry point tolerating a closed stdout.
+
+    ``feam top trace.jsonl | head`` closes the pipe early; dying with a
+    BrokenPipeError traceback (and a nonzero status that would trip the
+    exit-code contract) is wrong for a filter-friendly CLI.
+    """
+    try:
+        return entry()
+    except BrokenPipeError:
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return EXIT_OK
+
+
+def console_main() -> int:
+    """``feam`` console-script entry point."""
+    return _run(feam_main)
+
+
 if __name__ == "__main__":
-    raise SystemExit(main())
+    raise SystemExit(_run(main))

@@ -493,7 +493,32 @@ class EvaluationEngine:
         # Deterministic assembly: binary-major, site order as given.
         cells = [per_site[s][b]
                  for b in range(len(specs)) for s in range(len(sites))]
+        self._publish_matrix_metrics(cells)
         return MatrixResult(cells=cells, stats=self.stats.snapshot())
+
+    def _publish_matrix_metrics(self, cells: list[MatrixCell]) -> None:
+        """Matrix-level gauges for the SLO layer and ``/metrics``.
+
+        These are the aggregates threshold rules speak about
+        (:data:`repro.obs.slo.DEFAULT_RULES`): cell totals, the
+        unknown/ready percentages, and the all-layer cache hit rate.
+        No-ops when no collector is installed.
+        """
+        total = len(cells)
+        obs.gauge("matrix.cells.total").set(total)
+        if total:
+            ready = sum(1 for c in cells if c.outcome_word == "ready")
+            unknown = sum(1 for c in cells if c.outcome_word == "unknown")
+            obs.gauge("matrix.ready_cells.pct").set(100.0 * ready / total)
+            obs.gauge("matrix.unknown_cells.pct").set(
+                100.0 * unknown / total)
+        stats = self.stats
+        hits = (stats.description_hits + stats.discovery_hits
+                + stats.evaluation_hits)
+        lookups = hits + (stats.description_misses + stats.discovery_misses
+                          + stats.evaluation_misses)
+        if lookups:
+            obs.gauge("engine.cache.hit_rate").set(hits / lookups)
 
     @staticmethod
     def _coerce(binary, bundles: Optional[dict]) -> EngineBinary:

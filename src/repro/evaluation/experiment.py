@@ -193,6 +193,8 @@ def run_experiment(config: Optional[ExperimentConfig] = None,
 
     records: list[MigrationRecord] = []
     max_target_seconds = 0.0
+    ready_evals = 0
+    unknown_evals = 0
     for index, binary in enumerate(corpus.binaries):
         bundle = bundles[binary.binary_id]
         for target in sites:
@@ -249,6 +251,11 @@ def run_experiment(config: Optional[ExperimentConfig] = None,
                                 target, binary, feam_stack, env_after,
                                 curse, cfg.execution_attempts, "after")
 
+                for report in (basic, extended):
+                    ready_evals += bool(report.ready)
+                    if (report.ready
+                            and report.prediction.unknown_determinants):
+                        unknown_evals += 1
                 migrate_span.set_attrs(
                     basic_ready=basic.ready, extended_ready=extended.ready,
                     before_ok=before.ok, after_ok=after.ok)
@@ -294,6 +301,22 @@ def run_experiment(config: Optional[ExperimentConfig] = None,
     # installed collector (if any) to downstream report generation.
     stats = feam.engine.stats.snapshot()
     obs.metrics().absorb_cache_stats(stats)
+    # The same matrix-level gauges EvaluationEngine.evaluate_matrix
+    # publishes, so SLO rules speak one vocabulary for both runners
+    # (here a "cell" is one basic or extended target evaluation).
+    total_evals = 2 * len(records)
+    obs.gauge("matrix.cells.total").set(total_evals)
+    if total_evals:
+        obs.gauge("matrix.ready_cells.pct").set(
+            100.0 * ready_evals / total_evals)
+        obs.gauge("matrix.unknown_cells.pct").set(
+            100.0 * unknown_evals / total_evals)
+    hits = (stats.description_hits + stats.discovery_hits
+            + stats.evaluation_hits)
+    lookups = hits + (stats.description_misses + stats.discovery_misses
+                      + stats.evaluation_misses)
+    if lookups:
+        obs.gauge("engine.cache.hit_rate").set(hits / lookups)
     return ExperimentResult(
         records=records,
         corpus=corpus,

@@ -196,20 +196,26 @@ def _trace_summary(result: ExperimentResult) -> list[str]:
     out("## Observability (traced run)")
     out("")
     out(f"{len(spans)} spans and {len(events)} events were collected; "
-        f"rerun with `--trace-out FILE.jsonl` for the full trace.")
+        f"rerun with `--trace-out FILE.jsonl` for the full trace "
+        f"(`feam top FILE.jsonl` renders the same flame table).")
     out("")
 
-    by_name: dict[str, list] = {}
-    for span in spans:
-        by_name.setdefault(span.name, []).append(span)
-    out("| span | count | total wall (s) | total sim (s) |")
-    out("|---|---|---|---|")
-    for name in sorted(by_name):
-        group = by_name[name]
-        wall = sum(s.wall_seconds or 0.0 for s in group)
-        sim = sum(s.sim_seconds for s in group)
-        out(f"| `{name}` | {len(group)} | {wall:.3f} | {sim:.1f} |")
+    from repro.obs import analyze
+    prof = analyze.profile(spans)
+    out("### Flame profile (top span names by self wall time)")
     out("")
+    out("| span | count | wall self (s) | wall total (s) "
+        "| sim total (s) |")
+    out("|---|---|---|---|---|")
+    for frame in prof.sorted_frames("wall_self")[:10]:
+        out(f"| `{frame.name}` | {frame.count} "
+            f"| {frame.wall_self:.3f} | {frame.wall_total:.3f} "
+            f"| {frame.sim_total:.1f} |")
+    out("")
+    path = analyze.critical_path(spans, clock="wall")
+    if path:
+        chain = " > ".join(f"`{span.name}`" for span in path)
+        out(f"- critical path (wall clock): {chain}")
 
     summary = collector.metrics.histogram(
         "engine.cell.wall_seconds").summary()
@@ -220,5 +226,23 @@ def _trace_summary(result: ExperimentResult) -> list[str]:
             f"max {summary['max'] * 1e3:.1f} ms)")
     if result.cache_stats is not None:
         out(f"- engine caches: {result.cache_stats.render()}")
+    out("")
+
+    from repro.obs import slo as slo_mod
+    report = slo_mod.evaluate(slo_mod.DEFAULT_RULES,
+                              collector.metrics.to_dict())
+    out("### Service objectives")
+    out("")
+    out("| rule | status | observed |")
+    out("|---|---|---|")
+    for res in report.results:
+        observed = ("absent" if res.observed is None
+                    else f"{res.observed:g}")
+        out(f"| `{res.rule.name}` | {res.status} | {observed} |")
+    out("")
+    verdict = ("all SLOs met" if report.ok
+               else f"{len(report.violations)} SLO rule(s) violated")
+    out(f"{len(report.results)} rules evaluated: {verdict} "
+        f"(`feam slo` re-checks these against a live run).")
     out("")
     return lines

@@ -41,6 +41,7 @@ from repro.obs.tracer import NullTracer, Span, Tracer
 
 __all__ = [
     "Collector",
+    "analyze",
     "capture",
     "counter",
     "current",
@@ -51,6 +52,8 @@ __all__ = [
     "install",
     "is_active",
     "metrics",
+    "serve",
+    "slo",
     "span",
     "uninstall",
 ]
@@ -160,3 +163,10 @@ def gauge(name: str):
 
 def histogram(name: str):
     return _current.metrics.histogram(name)
+
+
+# Analysis layers over the collector, importable as ``obs.analyze`` etc.
+# (at the bottom: ``slo`` and ``serve`` call back into this facade).
+from repro.obs import analyze  # noqa: E402,F401
+from repro.obs import slo  # noqa: E402,F401
+from repro.obs import serve  # noqa: E402,F401

@@ -99,23 +99,51 @@ class Histogram:
             self.max = value if self.max is None else max(self.max, value)
 
     def quantile(self, q: float) -> Optional[float]:
-        """Bucket-resolution quantile estimate (upper bound of the
-        bucket holding the q-th observation; the true max for the
-        overflow bucket)."""
+        """Bucket-resolution quantile estimate.
+
+        Returns the upper bound of the bucket holding the q-th
+        observation, clamped into ``[min, max]`` so a single sample
+        (or any bucket coarser than the data) reports an observed
+        value, never an edge the data never reached; observations
+        beyond the last bucket edge land in the overflow bucket and
+        report the true ``max``.  ``q`` is clamped to ``[0, 1]``;
+        an empty histogram returns ``None``.
+        """
+        q = min(1.0, max(0.0, q))
         with self._lock:
             if self.count == 0:
                 return None
-            rank = q * self.count
+            # rank >= 1: q=0 still selects the first observation.
+            rank = max(1.0, q * self.count)
             cumulative = 0
             for i, bucket_count in enumerate(self._counts):
                 cumulative += bucket_count
                 if cumulative >= rank and bucket_count:
                     if i < len(self.buckets):
-                        return min(self.buckets[i],
-                                   self.max if self.max is not None
-                                   else self.buckets[i])
+                        estimate = self.buckets[i]
+                        if self.max is not None:
+                            estimate = min(estimate, self.max)
+                        if self.min is not None:
+                            estimate = max(estimate, self.min)
+                        return estimate
                     return self.max
             return self.max
+
+    def bucket_counts(self) -> list[tuple[Optional[float], int]]:
+        """Cumulative (upper_bound, count) pairs, Prometheus-style.
+
+        One entry per bucket edge plus a trailing ``(None, count)``
+        overflow entry (the ``+Inf`` bucket); counts are cumulative,
+        so the last entry always equals ``count``.
+        """
+        with self._lock:
+            pairs: list[tuple[Optional[float], int]] = []
+            cumulative = 0
+            for bound, bucket_count in zip(self.buckets, self._counts):
+                cumulative += bucket_count
+                pairs.append((bound, cumulative))
+            pairs.append((None, self.count))
+            return pairs
 
     @property
     def mean(self) -> Optional[float]:
@@ -168,6 +196,18 @@ class MetricsRegistry:
             return instrument
 
     # -- views ---------------------------------------------------------------------
+
+    def instruments(self) -> tuple[dict, dict, dict]:
+        """Shallow copies of the (counters, gauges, histograms) maps.
+
+        The instrument objects themselves are shared (and individually
+        thread-safe); the copies mean iteration never races instrument
+        creation.  The Prometheus exposition reads raw bucket counts
+        through this, which ``to_dict`` summaries do not carry.
+        """
+        with self._lock:
+            return (dict(self._counters), dict(self._gauges),
+                    dict(self._histograms))
 
     def absorb_cache_stats(self, stats, prefix: str = "engine.cache") -> None:
         """Mirror a :class:`~repro.core.engine.CacheStats` snapshot.
@@ -259,6 +299,9 @@ class NullMetrics:
 
     def absorb_cache_stats(self, stats, prefix: str = "engine.cache") -> None:
         pass
+
+    def instruments(self) -> tuple[dict, dict, dict]:
+        return {}, {}, {}
 
     def to_dict(self) -> dict:
         return {"counters": {}, "gauges": {}, "histograms": {}}

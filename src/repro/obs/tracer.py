@@ -86,6 +86,9 @@ class NullTracer:
     def current_span(self) -> None:
         return None
 
+    def snapshot(self) -> list:
+        return []
+
 
 class _ActiveSpan:
     """Context manager that opens/closes one real span."""
@@ -166,3 +169,9 @@ class Tracer:
     def spans_named(self, name: str) -> list[Span]:
         with self._lock:
             return [s for s in self.spans if s.name == name]
+
+    def snapshot(self) -> list[Span]:
+        """A consistent copy of the finished spans (safe while
+        instrumented code is still appending from other threads)."""
+        with self._lock:
+            return list(self.spans)

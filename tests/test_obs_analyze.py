@@ -1,0 +1,175 @@
+"""Flame profiles, critical paths and trace diffs (repro.obs.analyze).
+
+Uses hand-built span lists with exact timings, so total/self
+arithmetic, path selection and delta ordering are checked against
+known answers; the JSONL round-trip test ties the module to the traces
+``feam matrix --trace-out`` actually emits.
+"""
+
+import pytest
+
+from repro import obs
+from repro.obs import analyze
+from repro.obs.tracer import Span
+
+
+def _span(name, span_id, parent_id=None, wall=0.0, sim=0.0,
+          status="ok", start=0.0):
+    return Span(name=name, span_id=span_id, parent_id=parent_id,
+                attrs={}, start_wall=start, wall_seconds=wall,
+                sim_seconds=sim, status=status)
+
+
+@pytest.fixture
+def matrix_like_spans():
+    """matrix(0.100s) > site(0.080s) > 2x cell(0.030s each)."""
+    return [
+        _span("engine.matrix", 1, wall=0.100, sim=50.0, start=0.0),
+        _span("engine.site", 2, parent_id=1, wall=0.080, sim=50.0,
+              start=0.01),
+        _span("engine.cell", 3, parent_id=2, wall=0.030, sim=25.0,
+              start=0.02),
+        _span("engine.cell", 4, parent_id=2, wall=0.030, sim=25.0,
+              start=0.05, status="error"),
+    ]
+
+
+class TestProfile:
+    def test_total_and_self_time(self, matrix_like_spans):
+        prof = analyze.profile(matrix_like_spans)
+        assert prof.span_count == 4
+        matrix = prof.frame("engine.matrix")
+        site = prof.frame("engine.site")
+        cell = prof.frame("engine.cell")
+        assert matrix.count == 1 and site.count == 1 and cell.count == 2
+        assert matrix.wall_total == pytest.approx(0.100)
+        # self = own duration minus direct children.
+        assert matrix.wall_self == pytest.approx(0.100 - 0.080)
+        assert site.wall_self == pytest.approx(0.080 - 0.060)
+        assert cell.wall_self == pytest.approx(0.060)  # leaves keep all
+        assert site.sim_self == pytest.approx(0.0)  # 50 - 25 - 25
+        assert cell.errors == 1
+
+    def test_self_time_clamped_at_zero(self):
+        # Concurrent children can sum past the parent (threaded sites).
+        spans = [
+            _span("parent", 1, wall=0.010),
+            _span("child", 2, parent_id=1, wall=0.008),
+            _span("child", 3, parent_id=1, wall=0.008),
+        ]
+        prof = analyze.profile(spans)
+        assert prof.frame("parent").wall_self == 0.0
+
+    def test_orphan_parent_ids_count_as_roots(self):
+        prof = analyze.profile([_span("x", 5, parent_id=999, wall=0.01)])
+        assert prof.frame("x").wall_self == pytest.approx(0.01)
+
+    def test_unfinished_span_wall_is_zero(self):
+        span = _span("open", 1)
+        span.wall_seconds = None
+        prof = analyze.profile([span])
+        assert prof.frame("open").wall_total == 0.0
+
+    def test_sorted_frames_and_unknown_key(self, matrix_like_spans):
+        prof = analyze.profile(matrix_like_spans)
+        names = [f.name for f in prof.sorted_frames("count")]
+        assert names[0] == "engine.cell"
+        with pytest.raises(ValueError, match="unknown sort key"):
+            prof.sorted_frames("bogus")
+
+    def test_to_dict_roundtrip(self, matrix_like_spans):
+        prof = analyze.profile(matrix_like_spans)
+        clone = analyze.profile_from_dict(prof.to_dict())
+        assert clone.span_count == prof.span_count
+        assert set(clone.frames) == set(prof.frames)
+        assert clone.frame("engine.site").wall_self == pytest.approx(
+            prof.frame("engine.site").wall_self)
+
+
+class TestCriticalPath:
+    def test_descends_heaviest_chain(self, matrix_like_spans):
+        path = analyze.critical_path(matrix_like_spans)
+        assert [s.name for s in path] == [
+            "engine.matrix", "engine.site", "engine.cell"]
+        # Ties on wall broken deterministically; first cell (id 3) wins
+        # via max() keeping the first maximal element.
+        assert path[-1].span_id == 3
+
+    def test_sim_clock_can_pick_other_root(self):
+        spans = [
+            _span("wall-heavy", 1, wall=1.0, sim=1.0),
+            _span("sim-heavy", 2, wall=0.1, sim=100.0),
+        ]
+        assert analyze.critical_path(spans)[0].name == "wall-heavy"
+        assert analyze.critical_path(spans, clock="sim")[0].name \
+            == "sim-heavy"
+
+    def test_empty_and_bad_clock(self):
+        assert analyze.critical_path([]) == []
+        with pytest.raises(ValueError, match="unknown clock"):
+            analyze.critical_path([], clock="lamport")
+
+
+class TestDiff:
+    def test_added_removed_and_ratio(self):
+        base = analyze.profile([_span("kept", 1, wall=0.010),
+                                _span("gone", 2, wall=0.005)])
+        curr = analyze.profile([_span("kept", 1, wall=0.030),
+                                _span("new", 2, wall=0.001)])
+        deltas = {d.name: d for d in analyze.diff_profiles(base, curr)}
+        assert deltas["kept"].status == "common"
+        assert deltas["kept"].wall_ratio == pytest.approx(3.0)
+        assert deltas["kept"].wall_delta == pytest.approx(0.020)
+        assert deltas["gone"].status == "removed"
+        assert deltas["gone"].wall_delta == pytest.approx(-0.005)
+        assert deltas["new"].status == "added"
+        assert deltas["new"].wall_ratio is None
+
+    def test_sorted_by_absolute_wall_delta(self):
+        base = analyze.profile([_span("a", 1, wall=0.001),
+                                _span("b", 2, wall=0.100)])
+        curr = analyze.profile([_span("a", 1, wall=0.002),
+                                _span("b", 2, wall=0.010)])
+        deltas = analyze.diff_profiles(base, curr)
+        assert deltas[0].name == "b"  # |-0.090| > |+0.001|
+
+    def test_zero_baseline_ratio_is_none(self):
+        base = analyze.profile([_span("a", 1, wall=0.0)])
+        curr = analyze.profile([_span("a", 1, wall=1.0)])
+        (delta,) = analyze.diff_profiles(base, curr)
+        assert delta.wall_ratio is None
+
+
+class TestRendering:
+    def test_render_top_includes_every_column(self, matrix_like_spans):
+        text = analyze.render_top(analyze.profile(matrix_like_spans))
+        assert "engine.cell" in text
+        assert "wall self" in text and "sim total" in text
+        assert "4 spans" in text
+
+    def test_render_empty(self):
+        assert analyze.render_top(analyze.profile([])) == "(no spans)"
+        assert analyze.render_critical_path([]) == "(empty trace)"
+        assert analyze.render_diff([]) == "(no spans in either trace)"
+
+    def test_render_diff_marks_added_and_gone(self):
+        base = analyze.profile([_span("gone", 1, wall=0.01)])
+        curr = analyze.profile([_span("new", 1, wall=0.01)])
+        text = analyze.render_diff(analyze.diff_profiles(base, curr))
+        assert "[new]" in text and "[gone]" in text
+
+
+class TestJsonlIntegration:
+    def test_profile_from_emitted_trace(self, tmp_path):
+        with obs.capture() as collector:
+            with obs.span("outer"):
+                with obs.span("inner") as sp:
+                    sp.add_sim_seconds(3.0)
+        path = tmp_path / "trace.jsonl"
+        obs.export.write_jsonl(str(path), collector)
+        spans = analyze.spans_from_jsonl_file(str(path))
+        prof = analyze.profile(spans)
+        assert prof.frame("inner").sim_total == pytest.approx(3.0)
+        assert prof.frame("outer").count == 1
+        names = [s.name for s in analyze.critical_path(spans)]
+        assert names == ["outer", "inner"]

@@ -1,0 +1,108 @@
+"""Histogram edge cases and the registry views the serving layer reads.
+
+The quantile estimator is bucket-resolution by design; these tests pin
+the *edges*: empty histograms answer None, a single sample answers
+that sample (not a bucket bound the data never reached), values past
+the last bucket edge report the true max, and the cumulative
+``bucket_counts`` view always sums to ``count`` (what the Prometheus
+exposition renders).
+"""
+
+import pytest
+
+from repro.obs.metrics import Histogram, MetricsRegistry
+
+
+class TestHistogramEdgeCases:
+    def test_empty_histogram_quantiles_are_none(self):
+        h = Histogram("h")
+        assert h.quantile(0.5) is None
+        assert h.quantile(0.95) is None
+        assert h.mean is None
+        summary = h.summary()
+        assert summary["count"] == 0
+        assert summary["p50"] is None
+        assert summary["p95"] is None
+        assert summary["min"] is None and summary["max"] is None
+
+    def test_single_sample_reports_the_sample(self):
+        # 0.003 lands in the (0.002, 0.005] bucket; the naive estimate
+        # would be the 0.005 upper bound -- an edge never observed.
+        h = Histogram("h")
+        h.observe(0.003)
+        assert h.quantile(0.50) == pytest.approx(0.003)
+        assert h.quantile(0.95) == pytest.approx(0.003)
+        assert h.quantile(0.0) == pytest.approx(0.003)
+        assert h.quantile(1.0) == pytest.approx(0.003)
+
+    def test_values_beyond_last_bucket_edge_report_true_max(self):
+        h = Histogram("h", buckets=(1.0, 2.0))
+        h.observe(0.5)
+        h.observe(5000.0)
+        assert h.quantile(0.95) == pytest.approx(5000.0)
+        assert h.summary()["max"] == pytest.approx(5000.0)
+
+    def test_all_samples_in_overflow_bucket(self):
+        h = Histogram("h", buckets=(1.0,))
+        for value in (10.0, 20.0, 30.0):
+            h.observe(value)
+        assert h.quantile(0.5) == pytest.approx(30.0)  # bucket max
+        assert h.quantile(0.95) == pytest.approx(30.0)
+
+    def test_quantile_q_is_clamped(self):
+        h = Histogram("h")
+        h.observe(0.5)
+        assert h.quantile(-3.0) == pytest.approx(0.5)
+        assert h.quantile(7.0) == pytest.approx(0.5)
+
+    def test_estimate_clamped_into_min_max(self):
+        # Two samples in one coarse bucket: estimates stay inside the
+        # observed [min, max] band.
+        h = Histogram("h", buckets=(100.0,))
+        h.observe(10.0)
+        h.observe(20.0)
+        assert 10.0 <= h.quantile(0.50) <= 20.0
+        assert 10.0 <= h.quantile(0.95) <= 20.0
+
+    def test_p50_below_p95_on_spread_data(self):
+        h = Histogram("h")
+        for _ in range(95):
+            h.observe(0.001)
+        for _ in range(5):
+            h.observe(10.0)
+        assert h.quantile(0.50) == pytest.approx(0.001)
+        assert h.quantile(0.95) <= h.quantile(0.999)
+
+
+class TestBucketCounts:
+    def test_cumulative_and_terminal_count(self):
+        h = Histogram("h", buckets=(1.0, 2.0, 5.0))
+        for value in (0.5, 1.5, 1.7, 3.0, 100.0):
+            h.observe(value)
+        pairs = h.bucket_counts()
+        bounds = [bound for bound, _ in pairs]
+        counts = [count for _, count in pairs]
+        assert bounds == [1.0, 2.0, 5.0, None]
+        assert counts == [1, 3, 4, 5]
+        assert counts == sorted(counts)  # cumulative => monotone
+        assert counts[-1] == h.count
+
+    def test_empty_histogram_has_zero_rows(self):
+        pairs = Histogram("h", buckets=(1.0,)).bucket_counts()
+        assert pairs == [(1.0, 0), (None, 0)]
+
+
+class TestRegistryViews:
+    def test_instruments_returns_live_objects(self):
+        registry = MetricsRegistry()
+        registry.counter("a.b").inc(2)
+        registry.gauge("c.d").set(1.5)
+        registry.histogram("e.f").observe(0.1)
+        counters, gauges, histograms = registry.instruments()
+        assert counters["a.b"].value == 2
+        assert gauges["c.d"].value == 1.5
+        assert histograms["e.f"].count == 1
+        # The maps are copies: mutating them does not affect the
+        # registry, but the instruments are shared.
+        counters.clear()
+        assert registry.counter("a.b").value == 2

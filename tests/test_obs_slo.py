@@ -1,0 +1,154 @@
+"""Declarative SLO rules (repro.obs.slo): parsing, evaluation, alerts.
+
+Rules are evaluated against plain ``MetricsRegistry.to_dict``
+snapshots, so most tests build the snapshot by hand; the alerting test
+checks that violations land on the installed collector as structured
+``slo.violation`` events plus a counter tick.
+"""
+
+import pytest
+
+from repro import obs
+from repro.obs import slo
+
+
+def snapshot(counters=None, gauges=None, histograms=None):
+    return {"counters": counters or {}, "gauges": gauges or {},
+            "histograms": histograms or {}}
+
+
+class TestParsing:
+    def test_basic_rule(self):
+        rule = slo.parse_rule("engine.cache.hit_rate >= 0.5")
+        assert rule.metric == "engine.cache.hit_rate"
+        assert rule.op == ">=" and rule.threshold == 0.5
+        assert not rule.optional
+        assert rule.name == "engine.cache.hit_rate >= 0.5"
+
+    def test_histogram_stat_and_optional_marker(self):
+        rule = slo.parse_rule("engine.cell.wall_seconds:p95 <= 0.25 ?")
+        assert rule.metric == "engine.cell.wall_seconds:p95"
+        assert rule.optional
+
+    @pytest.mark.parametrize("text", [
+        "", "just words", "metric >=", ">= 5", "name <> 3",
+        "name >= not-a-number",
+    ])
+    def test_unparsable_lines_raise(self, text):
+        with pytest.raises(ValueError, match="unparsable SLO rule"):
+            slo.parse_rule(text)
+
+    def test_parse_rules_skips_comments_and_blanks(self):
+        rules = slo.parse_rules("""
+            # warm-run objectives
+            a.b >= 1
+            c.d <= 2  # trailing comment
+        """)
+        assert [r.metric for r in rules] == ["a.b", "c.d"]
+
+    def test_scientific_notation_threshold(self):
+        assert slo.parse_rule("a.b <= 2.5e-3").threshold == 2.5e-3
+
+    def test_default_rules_parse(self):
+        assert len(slo.DEFAULT_RULES) >= 3
+        assert any(r.optional for r in slo.DEFAULT_RULES)
+
+
+class TestSelect:
+    def test_gauge_wins_over_counter(self):
+        rule = slo.parse_rule("x >= 1")
+        snap = snapshot(counters={"x": 1}, gauges={"x": 2.0})
+        assert rule.select(snap) == 2.0
+
+    def test_counter_fallback(self):
+        rule = slo.parse_rule("x >= 1")
+        assert rule.select(snapshot(counters={"x": 7})) == 7
+
+    def test_histogram_stat(self):
+        rule = slo.parse_rule("h:p95 <= 1")
+        snap = snapshot(histograms={"h": {"count": 3, "p95": 0.5}})
+        assert rule.select(snap) == 0.5
+
+    def test_unknown_histogram_stat_raises(self):
+        rule = slo.parse_rule("h:p42 <= 1")
+        snap = snapshot(histograms={"h": {"count": 3}})
+        with pytest.raises(ValueError, match="unknown histogram stat"):
+            rule.select(snap)
+
+    def test_absent_is_none(self):
+        rule = slo.parse_rule("nope <= 1")
+        assert rule.select(snapshot()) is None
+
+
+class TestEvaluate:
+    def test_pass_fail_and_ops(self):
+        rules = slo.parse_rules("""
+            a >= 0.5
+            b <= 10
+            c > 0
+            d < 1
+            e == 3
+        """)
+        snap = snapshot(gauges={"a": 0.7, "b": 20.0, "c": 1.0,
+                                "d": 0.5, "e": 3.0})
+        report = slo.evaluate(rules, snap)
+        by_metric = {r.rule.metric: r.status for r in report.results}
+        assert by_metric == {"a": "pass", "b": "fail", "c": "pass",
+                             "d": "pass", "e": "pass"}
+        assert not report.ok
+        assert [r.rule.metric for r in report.violations] == ["b"]
+
+    def test_absent_mandatory_fails_absent_optional_skips(self):
+        rules = [slo.parse_rule("gone >= 1"),
+                 slo.parse_rule("also.gone >= 1 ?")]
+        report = slo.evaluate(rules, snapshot())
+        assert report.results[0].status == "fail"
+        assert report.results[1].status == "skipped"
+        assert report.results[1].ok and not report.results[0].ok
+
+    def test_render_and_to_dict(self):
+        rules = [slo.parse_rule("a >= 1"), slo.parse_rule("b >= 1 ?")]
+        report = slo.evaluate(rules, snapshot(gauges={"a": 0.5}))
+        text = report.render()
+        assert "FAIL" in text and "SKIP" in text
+        assert "1 violated" in text
+        data = report.to_dict()
+        assert data["ok"] is False
+        assert data["results"][0]["status"] == "fail"
+        assert data["results"][0]["observed"] == 0.5
+
+    def test_empty_rules_report(self):
+        report = slo.evaluate([], snapshot())
+        assert report.ok
+        assert report.render() == "(no SLO rules)"
+
+
+class TestCheckAlerts:
+    def test_violations_emit_events_and_counter(self):
+        rules = [slo.parse_rule("present >= 10"),
+                 slo.parse_rule("fine >= 0")]
+        with obs.capture() as collector:
+            collector.metrics.gauge("present").set(1.0)
+            collector.metrics.gauge("fine").set(5.0)
+            report = slo.check(rules)
+            assert not report.ok
+            violations = [e for e in collector.events.events
+                          if e.name == "slo.violation"]
+            assert len(violations) == 1
+            assert violations[0].attrs["metric"] == "present"
+            assert violations[0].attrs["observed"] == 1.0
+            assert violations[0].attrs["threshold"] == 10.0
+            assert collector.metrics.counter("slo.violations").value == 1
+
+    def test_check_accepts_explicit_snapshot(self):
+        report = slo.check([slo.parse_rule("g >= 1")],
+                           snapshot(gauges={"g": 2.0}))
+        assert report.ok
+
+    def test_all_pass_emits_nothing(self):
+        with obs.capture() as collector:
+            collector.metrics.gauge("g").set(2.0)
+            report = slo.check([slo.parse_rule("g >= 1")])
+            assert report.ok
+            assert not [e for e in collector.events.events
+                        if e.name == "slo.violation"]
