@@ -2,8 +2,8 @@
 
 PYTHON ?= python3
 
-.PHONY: install test ci bench bench-matrix perf-gate serve slo trace \
-	tables report examples clean
+.PHONY: install test ci bench bench-matrix perf-gate chaos serve slo \
+	trace tables report examples clean
 
 install:
 	pip install -e .
@@ -23,6 +23,11 @@ bench-matrix:
 
 perf-gate: bench-matrix
 	PYTHONPATH=src $(PYTHON) benchmarks/check_regression.py
+
+chaos:
+	PYTHONPATH=src $(PYTHON) -m repro feam chaos \
+		--profile benchmarks/chaos_flaky.txt --seed 7 \
+		--summary-out chaos_summary.json
 
 serve:
 	PYTHONPATH=src $(PYTHON) -m repro feam serve

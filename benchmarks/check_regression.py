@@ -13,7 +13,10 @@ failure (1) or an SLO violation (2):
   ``--tolerance`` (default 25%) before failing; shrinking beyond the
   tolerance is reported as a note suggesting a baseline refresh;
 * the *warm speedup* (cache efficacy) may not fall below
-  ``(1 - tolerance)`` of the baseline.
+  ``(1 - tolerance)`` of the baseline;
+* *clean-run* counters (``faults_injected``, ``retries``) must be
+  zero -- the benchmark installs no fault plan, so any firing of the
+  resilience path poisons the timings.
 
 Optionally (``--trace trace.jsonl --profile-out flame.json``) it also
 aggregates a trace into a flame profile artifact via
@@ -41,6 +44,10 @@ EXIT_REGRESSION = 3   # the gate tripped (matches ``feam diff-trace``)
 SHAPE_KEYS = ("cells", "binaries", "sites", "seed")
 #: May grow up to ``tolerance`` relative to the baseline.
 TIMING_KEYS = ("cold_seconds", "warm_seconds", "traced_seconds")
+#: Must be zero in the no-fault benchmark run (baseline-independent):
+#: a nonzero count means the resilience path fired without a fault
+#: plan installed, so the warm timings measure retries, not the cache.
+CLEAN_RUN_KEYS = ("faults_injected", "retries")
 
 
 def compare(baseline: dict, current: dict,
@@ -83,6 +90,13 @@ def compare(baseline: dict, current: dict,
                 f"{key}: {base:.4f}s -> {curr:.4f}s ({ratio:.2f}x) -- "
                 f"faster than the baseline tolerance; consider "
                 f"refreshing benchmarks/BENCH_baseline.json")
+
+    for key in CLEAN_RUN_KEYS:
+        value = current.get(key, 0)
+        if value:
+            failures.append(
+                f"{key}: {value} in a no-fault benchmark run "
+                f"(resilience fired; timings are not comparable)")
 
     base_speedup = baseline.get("warm_speedup")
     curr_speedup = current.get("warm_speedup")

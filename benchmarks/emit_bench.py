@@ -97,6 +97,11 @@ def run(out_path: str = "BENCH_matrix.json",
         traced_engine.evaluate_matrix(binaries, sites)
         traced = time.perf_counter() - start
 
+    # The benchmark runs with no fault plan installed, so any injected
+    # fault or retry means the resilience path fired where it must not:
+    # the warm timings would not be comparable.  check_regression.py
+    # gates on these staying zero.
+    counters = collector.metrics.to_dict()["counters"]
     payload = {
         "seed": SEED,
         "binaries": len(binaries),
@@ -109,6 +114,8 @@ def run(out_path: str = "BENCH_matrix.json",
         "traced_overhead": round(traced / cold - 1.0, 4) if cold > 0
         else None,
         "trace_spans": len(collector.spans),
+        "faults_injected": counters.get("resilience.faults.injected", 0),
+        "retries": counters.get("resilience.retries.total", 0),
         "cache": {
             "description_hits": stats.description_hits,
             "description_misses": stats.description_misses,

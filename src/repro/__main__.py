@@ -22,7 +22,13 @@ artifacts:
   paper site through the cached :class:`~repro.core.engine.\
 EvaluationEngine`, printing the readiness grid and cache statistics
   (``--verbose`` adds per-cell cache provenance, ``--trace-out`` writes
-  the run's trace as JSONL);
+  the run's trace as JSONL, ``--journal`` checkpoints completed cells
+  as JSONL and ``--resume`` restores them, re-evaluating only the
+  rest);
+* ``feam chaos`` -- run the same matrix under a fault-injection
+  profile (:mod:`repro.sysmodel.faults`): injected faults degrade
+  cells to UNKNOWN with failure provenance instead of crashing the
+  run, and a fault/retry/breaker summary table follows the grid;
 * ``feam trace`` -- run one real evaluation under the observability
   collector and pretty-print the span tree (every determinant check,
   the discovery step and each resolution copy);
@@ -131,6 +137,52 @@ def feam_main(argv: Optional[list[str]] = None) -> int:
     matrix.add_argument(
         "--trace-out", metavar="FILE.jsonl", default=None,
         help="write the run's observability trace as JSONL")
+    matrix.add_argument(
+        "--journal", metavar="FILE.jsonl", default=None,
+        help="append each completed cell to this JSONL checkpoint "
+             "as it finishes")
+    matrix.add_argument(
+        "--resume", metavar="JOURNAL", default=None,
+        help="restore completed cells from this journal and "
+             "evaluate only the rest; new cells are appended back "
+             "to it unless --journal names another file")
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="run the matrix under a fault-injection profile and print "
+             "the readiness grid plus a fault/retry/breaker summary")
+    chaos.add_argument(
+        "--profile", default="flaky",
+        help="built-in fault profile (none, flaky, partition, corrupt) "
+             "or a profile file -- text ('read-error @ * rate=0.15 "
+             "persistent' per line) or JSON (default: flaky)")
+    chaos.add_argument(
+        "--seed", type=int, default=20130101,
+        help="world seed, also the fault plan's injection seed "
+             "(default: 20130101)")
+    chaos.add_argument(
+        "--binaries", type=int, default=4,
+        help="how many test binaries to compile (default: 4)")
+    chaos.add_argument(
+        "--extended", action="store_true",
+        help="also run source phases and evaluate in extended mode")
+    chaos.add_argument(
+        "--workers", type=int, default=1,
+        help="thread-pool size (default: 1 -- single-threaded keeps "
+             "same-seed runs and their journals byte-identical)")
+    chaos.add_argument(
+        "--verbose", action="store_true",
+        help="also print per-cell cache and failure provenance")
+    chaos.add_argument(
+        "--journal", metavar="FILE.jsonl", default=None,
+        help="append each completed cell to this JSONL checkpoint")
+    chaos.add_argument(
+        "--resume", metavar="JOURNAL", default=None,
+        help="restore completed cells from this journal and evaluate "
+             "only the rest")
+    chaos.add_argument(
+        "--summary-out", metavar="FILE.json", default=None,
+        help="also write the fault/retry/breaker summary as JSON")
 
     trace = sub.add_parser(
         "trace",
@@ -275,6 +327,8 @@ def feam_main(argv: Optional[list[str]] = None) -> int:
     args = parser.parse_args(argv)
     if args.command == "matrix":
         return _feam_matrix(args)
+    if args.command == "chaos":
+        return _feam_chaos(args)
     if args.command == "trace":
         return _feam_trace(args)
     if args.command == "stats":
@@ -317,24 +371,182 @@ def _build_matrix_inputs(args):
     return sites, engine, binaries, bundles
 
 
+def _open_checkpoint(args):
+    """``(journal, resume)`` from --journal/--resume, or None on error.
+
+    With --resume but no --journal, new cells are appended back to the
+    resume file itself, so repeated resumes converge on one journal.
+    """
+    from repro.core.resilience import MatrixJournal
+
+    resume = None
+    if getattr(args, "resume", None):
+        try:
+            resume = MatrixJournal.load(args.resume)
+        except OSError as exc:
+            print(f"cannot read journal {args.resume!r}: {exc}",
+                  file=sys.stderr)
+            return None
+        print(f"resuming: {len(resume)} cell(s) already journaled in "
+              f"{args.resume}", file=sys.stderr)
+    journal = None
+    journal_path = getattr(args, "journal", None) \
+        or getattr(args, "resume", None)
+    if journal_path:
+        try:
+            journal = MatrixJournal(journal_path)
+        except OSError as exc:
+            print(f"cannot open journal {journal_path!r}: {exc}",
+                  file=sys.stderr)
+            return None
+    return journal, resume
+
+
 def _feam_matrix(args) -> int:
     from repro import obs
 
+    checkpoint = _open_checkpoint(args)
+    if checkpoint is None:
+        return EXIT_FAILURE
+    journal, resume = checkpoint
     sites, engine, binaries, bundles = _build_matrix_inputs(args)
     print(f"evaluating {len(binaries)} binaries x {len(sites)} sites...",
           file=sys.stderr)
-    if args.trace_out:
-        with obs.capture() as collector:
+    try:
+        if args.trace_out:
+            with obs.capture() as collector:
+                result = engine.evaluate_matrix(
+                    binaries, sites, bundles=bundles or None,
+                    journal=journal, resume=resume)
+            obs.export.write_jsonl(args.trace_out, collector)
+            print(f"trace written to {args.trace_out} "
+                  f"({len(collector.spans)} spans)", file=sys.stderr)
+        else:
             result = engine.evaluate_matrix(
-                binaries, sites, bundles=bundles or None)
-        obs.export.write_jsonl(args.trace_out, collector)
-        print(f"trace written to {args.trace_out} "
-              f"({len(collector.spans)} spans)", file=sys.stderr)
-    else:
-        result = engine.evaluate_matrix(
-            binaries, sites, bundles=bundles or None)
+                binaries, sites, bundles=bundles or None,
+                journal=journal, resume=resume)
+    finally:
+        if journal is not None:
+            journal.close()
     print(result.render(verbose=args.verbose))
+    if journal is not None:
+        print(f"journal: {journal.written} cell(s) appended to "
+              f"{journal.path}", file=sys.stderr)
     return 0
+
+
+def _resolve_fault_plan(spec: str, seed: int):
+    """A FaultPlan from a built-in name or a profile file, or None."""
+    from repro.sysmodel import faults as faults_mod
+
+    if spec in faults_mod.PROFILES:
+        return faults_mod.FaultPlan.profile(spec, seed=seed)
+    if os.path.exists(spec):
+        try:
+            with open(spec, "r", encoding="utf-8") as handle:
+                text = handle.read()
+            return faults_mod.FaultPlan.parse(
+                text, seed=seed, name=os.path.basename(spec))
+        except OSError as exc:
+            print(f"cannot read fault profile {spec!r}: {exc}",
+                  file=sys.stderr)
+        except ValueError as exc:
+            print(f"bad fault profile {spec!r}: {exc}", file=sys.stderr)
+        return None
+    print(f"unknown fault profile {spec!r}; built-in: "
+          f"{', '.join(sorted(faults_mod.PROFILES))} (or give a "
+          f"profile file)", file=sys.stderr)
+    return None
+
+
+def _chaos_summary(plan, engine, result, counters: dict) -> dict:
+    """The JSON-ready fault/retry/breaker summary of one chaos run."""
+    cells = list(result.cells)
+    return {
+        "plan": plan.summary(),
+        "matrix": {
+            "cells": len(cells),
+            "faulted_cells": sum(1 for cell in cells if cell.faulted),
+            "resumed": result.resumed,
+            "quarantined_sites": sorted(result.quarantined),
+        },
+        "retries": counters.get("resilience.retries.total", 0),
+        "cells_degraded": counters.get("resilience.cells.faulted", 0),
+        "quarantine_skips": counters.get(
+            "resilience.cells.quarantined", 0),
+        "rollbacks": counters.get("resolution.rollbacks", 0),
+        "breakers": engine.site_health(),
+    }
+
+
+def _render_chaos_summary(summary: dict) -> str:
+    plan = summary["plan"]
+    matrix = summary["matrix"]
+    lines = ["chaos summary",
+             "-------------",
+             f"profile: {plan['profile']} (seed {plan['seed']})",
+             f"faults injected: {plan['injected']}"]
+    for kind, count in sorted(plan["by_kind"].items()):
+        lines.append(f"  {kind:<20} {count:>4}")
+    lines.append(
+        f"cells: {matrix['cells']} evaluated, "
+        f"{matrix['faulted_cells']} degraded to unknown, "
+        f"{matrix['resumed']} resumed from the journal")
+    lines.append(f"retries: {summary['retries']}")
+    lines.append(f"quarantine skips: {summary['quarantine_skips']}")
+    if summary["rollbacks"]:
+        lines.append(f"staging rollbacks: {summary['rollbacks']}")
+    lines.append("breakers:")
+    for site, state in sorted(summary["breakers"].items()):
+        lines.append(f"  {site:<12} {state}")
+    return "\n".join(lines)
+
+
+def _feam_chaos(args) -> int:
+    import json
+
+    from repro import obs
+    from repro.sysmodel import faults as faults_mod
+
+    plan = _resolve_fault_plan(args.profile, args.seed)
+    if plan is None:
+        return EXIT_FAILURE
+    checkpoint = _open_checkpoint(args)
+    if checkpoint is None:
+        return EXIT_FAILURE
+    journal, resume = checkpoint
+    sites, engine, binaries, bundles = _build_matrix_inputs(args)
+    print(f"injecting fault profile {plan.name!r} "
+          f"({len(plan.specs)} spec(s), seed {plan.seed}); evaluating "
+          f"{len(binaries)} binaries x {len(sites)} sites...",
+          file=sys.stderr)
+    # Arm *after* the sites are built so compilation stays clean; the
+    # faults land on the evaluation itself.
+    plan.arm(sites)
+    try:
+        with obs.capture() as collector:
+            with faults_mod.injecting(plan):
+                result = engine.evaluate_matrix(
+                    binaries, sites, bundles=bundles or None,
+                    journal=journal, resume=resume)
+    finally:
+        faults_mod.FaultPlan.disarm(sites)
+        if journal is not None:
+            journal.close()
+    print(result.render(verbose=args.verbose))
+    print()
+    counters = collector.metrics.to_dict()["counters"]
+    summary = _chaos_summary(plan, engine, result, counters)
+    print(_render_chaos_summary(summary))
+    if journal is not None:
+        print(f"journal: {journal.written} cell(s) appended to "
+              f"{journal.path}", file=sys.stderr)
+    if args.summary_out:
+        with open(args.summary_out, "w", encoding="utf-8") as handle:
+            json.dump(summary, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"summary written to {args.summary_out}", file=sys.stderr)
+    return EXIT_OK
 
 
 def _feam_stats(args) -> int:

@@ -48,6 +48,23 @@ class FeamConfig:
     resolution_seconds_per_library: float = 2.0
     #: Post-resolution retest of the imported hello-world.
     hello_retest_seconds: float = 20.0
+    #: Resilience: attempts per engine operation (discover/describe/
+    #: evaluate) before the cell degrades to UNKNOWN.
+    retry_max_attempts: int = 3
+    #: Resilience: backoff before the first retry, in simulated seconds.
+    retry_base_seconds: float = 2.0
+    #: Resilience: backoff growth factor per retry.
+    retry_backoff_multiplier: float = 2.0
+    #: Resilience: cap on a single backoff delay, in simulated seconds.
+    retry_max_delay_seconds: float = 30.0
+    #: Resilience: fractional (seeded, deterministic) backoff jitter.
+    retry_jitter: float = 0.25
+    #: Resilience: consecutive cell failures that open a site's breaker.
+    breaker_failure_threshold: int = 3
+    #: Resilience: quarantined cells skipped before a half-open probe.
+    breaker_probe_after: int = 2
+    #: Resilience: per-cell simulated-seconds retry budget.
+    cell_deadline_seconds: float = 120.0
 
     def mpiexec_for(self, mpi_type: Optional[str]) -> str:
         """The launch command for an MPI type (Section V.C default)."""
@@ -64,7 +81,9 @@ class FeamConfig:
         ``output_root``, the timing-model keys (``feam_base_seconds``,
         ``feam_seconds_per_dependency``, ``stack_assessment_seconds``,
         ``library_check_seconds``, ``resolution_seconds_per_library``,
-        ``hello_retest_seconds``), and ``mpiexec.<MPI type>`` overrides.
+        ``hello_retest_seconds``), the resilience keys (``retry_*``,
+        ``breaker_*``, ``cell_deadline_seconds``), and
+        ``mpiexec.<MPI type>`` overrides.
         """
         kwargs: dict = {}
         overrides: dict[str, str] = {}
@@ -81,12 +100,17 @@ class FeamConfig:
             elif key in ("serial_queue", "parallel_queue",
                          "staging_root", "output_root"):
                 kwargs[key] = value
-            elif key in ("hello_nprocs", "max_resolution_depth"):
+            elif key in ("hello_nprocs", "max_resolution_depth",
+                         "retry_max_attempts", "breaker_failure_threshold",
+                         "breaker_probe_after"):
                 kwargs[key] = int(value)
             elif key in ("feam_base_seconds", "feam_seconds_per_dependency",
                          "stack_assessment_seconds", "library_check_seconds",
                          "resolution_seconds_per_library",
-                         "hello_retest_seconds"):
+                         "hello_retest_seconds", "retry_base_seconds",
+                         "retry_backoff_multiplier",
+                         "retry_max_delay_seconds", "retry_jitter",
+                         "cell_deadline_seconds"):
                 kwargs[key] = float(value)
             else:
                 raise ValueError(f"config line {lineno}: unknown key {key!r}")
@@ -110,6 +134,14 @@ class FeamConfig:
             f"resolution_seconds_per_library = "
             f"{self.resolution_seconds_per_library}",
             f"hello_retest_seconds = {self.hello_retest_seconds}",
+            f"retry_max_attempts = {self.retry_max_attempts}",
+            f"retry_base_seconds = {self.retry_base_seconds}",
+            f"retry_backoff_multiplier = {self.retry_backoff_multiplier}",
+            f"retry_max_delay_seconds = {self.retry_max_delay_seconds}",
+            f"retry_jitter = {self.retry_jitter}",
+            f"breaker_failure_threshold = {self.breaker_failure_threshold}",
+            f"breaker_probe_after = {self.breaker_probe_after}",
+            f"cell_deadline_seconds = {self.cell_deadline_seconds}",
         ]
         for mpi_type, command in sorted(self.mpiexec_overrides.items()):
             lines.append(f"mpiexec.{mpi_type} = {command}")

@@ -25,6 +25,7 @@ from repro import obs
 from repro.core.description import BinaryDescription
 from repro.sites.modules import EnvironmentModules
 from repro.sites.softenv import SoftEnv
+from repro.sysmodel import faults
 from repro.sysmodel.env import Environment
 from repro.sysmodel.fs import FsError
 from repro.sysmodel.library import parse_library_name
@@ -122,6 +123,11 @@ class EnvironmentDiscoveryComponent:
 
     def discover(self) -> EnvironmentDescription:
         """Gather the full Figure 4 description."""
+        # Discovery shells out to slow site commands; under an injected
+        # fault plan this is where a site "hangs" (the engine's retry
+        # policy decides whether to try again).
+        faults.check(self.toolbox.machine.hostname,
+                     faults.FaultKind.DISCOVERY_TIMEOUT, key="edc.discover")
         with obs.span("edc.discover",
                       host=self.toolbox.machine.hostname) as sp:
             with obs.span("edc.isa"):

@@ -25,6 +25,15 @@ Invalidation: :meth:`EvaluationEngine.refresh_site` re-discovers a site
 and, when the environment fingerprint changed, drops that site's cached
 discovery and evaluation cells (descriptions are content-addressed and
 stay valid).
+
+Resilience (:mod:`repro.core.resilience`): discovery, description and
+cell evaluation run under a retry policy; a per-site circuit breaker
+quarantines sites whose cells keep failing; anything that still escapes
+degrades the cell to an UNKNOWN report carrying
+:class:`~repro.core.resilience.FailureProvenance` instead of aborting
+the matrix.  :meth:`EvaluationEngine.evaluate_matrix` optionally
+journals completed cells (JSONL) and resumes from a prior journal,
+re-evaluating only the missing cells.
 """
 
 from __future__ import annotations
@@ -44,12 +53,29 @@ from repro.core.description import (
     BinaryDescriptionComponent,
 )
 from repro.core.determinants import DeterminantRegistry
+from repro.core.discovery import EnvironmentDescription
 from repro.core.evaluation import (
     CellCacheInfo,
     TargetEvaluationComponent,
     TargetReport,
 )
-from repro.core.prediction import Outcome
+from repro.core.prediction import (
+    Determinant,
+    DeterminantResult,
+    Outcome,
+    Prediction,
+    PredictionMode,
+)
+from repro.core.resilience import (
+    BreakerState,
+    CircuitBreaker,
+    FailureProvenance,
+    MatrixJournal,
+    ResiliencePolicy,
+    provenance_from,
+    with_retries,
+)
+from repro.sysmodel import faults
 from repro.util.hashing import content_digest, stable_digest
 
 #: Where the engine stages binaries it migrates to a site itself.
@@ -88,6 +114,62 @@ class EngineBinary:
     bundle: Optional[SourceBundle] = None
 
 
+def _unknown_environment(hostname: str) -> EnvironmentDescription:
+    """Placeholder description for a site whose discovery never finished."""
+    return EnvironmentDescription(
+        hostname=hostname, isa="unknown", os_type="unknown",
+        os_version=None, distro=None, libc_version=None, libc_path=None,
+        libc_via=None, stacks=(), env_tool=None)
+
+
+def cell_record(cell: "MatrixCell") -> dict:
+    """The journal (JSONL) record of one completed cell.
+
+    Wall-clock-free by design: two runs of a deterministic matrix must
+    journal byte-identically (the resume/determinism gate).
+    """
+    report = cell.report
+    return {
+        "binary": cell.binary_id,
+        "site": cell.site_name,
+        "outcome": cell.outcome_word,
+        "ready": report.ready,
+        "determinants": {r.key: r.outcome.value
+                         for r in report.prediction.determinants},
+        "reasons": list(report.prediction.reasons),
+        "feam_seconds": round(report.feam_seconds, 6),
+        "fault": (report.failure.to_dict()
+                  if report.failure is not None else None),
+    }
+
+
+def cell_from_record(record: dict) -> "MatrixCell":
+    """Rebuild a (summary-grade) cell from its journal record.
+
+    The restored report carries the verdict, determinant outcomes,
+    reasons and failure provenance -- everything the matrix grid and the
+    summary tables read -- but not the full evaluation artefacts
+    (resolution plan, run environment)."""
+    determinants = tuple(
+        DeterminantResult(key, Outcome(value))
+        for key, value in sorted(record.get("determinants", {}).items()))
+    fault = record.get("fault")
+    report = TargetReport(
+        prediction=Prediction(
+            ready=bool(record.get("ready", True)),
+            mode=PredictionMode.BASIC,
+            determinants=determinants,
+            reasons=tuple(record.get("reasons", ()))),
+        environment=_unknown_environment(record["site"]),
+        feam_seconds=float(record.get("feam_seconds", 0.0)),
+        cache=CellCacheInfo(description_hit=True, discovery_hit=True,
+                            evaluation_hit=True),
+        failure=(FailureProvenance.from_dict(fault)
+                 if fault is not None else None))
+    return MatrixCell(binary_id=record["binary"],
+                      site_name=record["site"], report=report)
+
+
 @dataclasses.dataclass(frozen=True)
 class MatrixCell:
     """One evaluated (binary, site) pair."""
@@ -99,6 +181,11 @@ class MatrixCell:
     @property
     def ready(self) -> bool:
         return self.report.ready
+
+    @property
+    def faulted(self) -> bool:
+        """True when the cell degraded to UNKNOWN instead of evaluating."""
+        return self.report.failure is not None
 
     @property
     def outcome_word(self) -> str:
@@ -122,6 +209,10 @@ class MatrixResult:
 
     cells: list[MatrixCell]
     stats: CacheStats
+    #: Sites whose circuit breaker was not closed when the matrix ended.
+    quarantined: tuple[str, ...] = ()
+    #: Cells restored from a resume journal instead of re-evaluated.
+    resumed: int = 0
 
     def cell(self, binary_id: str, site_name: str) -> Optional[MatrixCell]:
         for cell in self.cells:
@@ -156,6 +247,16 @@ class MatrixResult:
         lines.append("legend: ready = all determinants pass | "
                      "unknown = undetermined (optimistic verdict) | "
                      "no = determined incompatibility")
+        faulted = sum(1 for c in self.cells if c.faulted)
+        if faulted:
+            lines.append(f"faults: {faulted} cell(s) degraded to unknown "
+                         "by failures (see verbose provenance)")
+        if self.quarantined:
+            lines.append("quarantined sites (circuit breaker open): "
+                         + ", ".join(self.quarantined))
+        if self.resumed:
+            lines.append(f"resumed: {self.resumed} cell(s) restored from "
+                         "the journal")
         lines.append(f"cache: {self.stats.render()}")
         if verbose:
             lines.append("")
@@ -172,6 +273,9 @@ class MatrixResult:
                 if undecided:
                     line += " determinants: " + ", ".join(undecided)
                 lines.append(line)
+                if cell.report.failure is not None:
+                    lines.append("    fault: "
+                                 + cell.report.failure.render())
         return "\n".join(lines) + "\n"
 
 
@@ -232,14 +336,18 @@ class EvaluationEngine:
 
     def __init__(self, config: Optional[FeamConfig] = None,
                  registry: Optional[DeterminantRegistry] = None,
-                 max_workers: Optional[int] = None) -> None:
+                 max_workers: Optional[int] = None,
+                 resilience: Optional[ResiliencePolicy] = None) -> None:
         self.config = config or FeamConfig()
         self.registry = registry
         self.max_workers = max_workers
+        self.resilience = resilience or ResiliencePolicy.from_config(
+            self.config)
         self.stats = CacheStats()
         self._lock = threading.Lock()
         self._tecs: dict[str, TargetEvaluationComponent] = {}
         self._fingerprints: dict[str, str] = {}
+        self._breakers: dict[str, CircuitBreaker] = {}
         #: (image digest, described path) -> description
         self._descriptions: dict[tuple[str, str], BinaryDescription] = {}
         #: cell key -> report
@@ -257,13 +365,35 @@ class EvaluationEngine:
                 self._tecs[site.name] = tec
             return tec
 
-    def _discover(self, site) -> tuple[object, bool]:
-        """(environment description, was it a cache hit)."""
+    def breaker_for(self, site_name: str) -> CircuitBreaker:
+        """The (cached) per-site circuit breaker."""
+        with self._lock:
+            breaker = self._breakers.get(site_name)
+            if breaker is None:
+                breaker = self.resilience.breaker_for(site_name)
+                self._breakers[site_name] = breaker
+            return breaker
+
+    def site_health(self) -> dict[str, str]:
+        """Breaker state per site the engine has touched."""
+        with self._lock:
+            return {name: breaker.state.value
+                    for name, breaker in sorted(self._breakers.items())}
+
+    def _discover(self, site) -> tuple[object, bool, float]:
+        """(environment, was it a cache hit, simulated retry seconds)."""
         tec = self.tec_for(site)
         hit = tec._environment is not None
+        retry_seconds = 0.0
         with obs.span("engine.discover", site=site.name, hit=hit):
             started = time.perf_counter()
-            environment = tec.environment()
+            if hit:
+                environment = tec.environment()
+            else:
+                environment, _attempts, retry_seconds = with_retries(
+                    self.resilience.retry, f"discover:{site.name}",
+                    tec.environment, operation="discover", site=site.name,
+                    deadline_seconds=self.resilience.cell_deadline_seconds)
             obs.histogram("engine.discover.seconds").observe(
                 time.perf_counter() - started)
         with self._lock:
@@ -276,7 +406,7 @@ class EvaluationEngine:
                     environment_fingerprint(environment)
         obs.counter("engine.cache.discovery."
                     + ("hits" if hit else "misses")).inc()
-        return environment, hit
+        return environment, hit, retry_seconds
 
     def fingerprint_for(self, site) -> str:
         """The content-address of the site's (cached) environment."""
@@ -337,7 +467,12 @@ class EvaluationEngine:
                       hit=False):
             started = time.perf_counter()
             bdc = BinaryDescriptionComponent(site.toolbox())
-            description = bdc.describe(binary_path)
+            description, _attempts, _slept = with_retries(
+                self.resilience.retry,
+                f"describe:{site.name}:{binary_path}",
+                lambda: bdc.describe(binary_path),
+                operation="describe", site=site.name,
+                deadline_seconds=self.resilience.cell_deadline_seconds)
             obs.histogram("engine.describe.seconds").observe(
                 time.perf_counter() - started)
         with self._lock:
@@ -366,21 +501,78 @@ class EvaluationEngine:
                 "source bundle")
         label = (binary_id or binary_path
                  or (bundle.description.path if bundle is not None else "?"))
+        breaker = self.breaker_for(site.name)
+        if not breaker.allow():
+            provenance = FailureProvenance(
+                kind="breaker-open",
+                detail=f"site {site.name} is quarantined by its circuit "
+                       "breaker", site=site.name, operation="quarantine",
+                attempts=0, breaker_state=breaker.state.value)
+            obs.event("resilience.cell_quarantined", site=site.name,
+                      binary=label)
+            return self.degraded_report(site, provenance)
         with obs.span("engine.cell", binary=label,
                       site=site.name) as cell_span:
             started = time.perf_counter()
-            report = self._evaluate_cell(
-                site, binary_path, image, binary_id, bundle, staging_tag)
+            try:
+                report = self._evaluate_cell(
+                    site, binary_path, image, binary_id, bundle,
+                    staging_tag)
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except Exception as exc:
+                # Degrade, never abort: the cell becomes UNKNOWN with
+                # full failure provenance, and the breaker learns.
+                breaker.record_failure()
+                provenance = provenance_from(
+                    exc, site=site.name,
+                    breaker_state=breaker.state.value)
+                obs.counter("resilience.cells.faulted").inc()
+                obs.event("resilience.cell_degraded", site=site.name,
+                          binary=label, kind=provenance.kind,
+                          attempts=provenance.attempts,
+                          breaker=provenance.breaker_state)
+                report = self.degraded_report(site, provenance)
+            else:
+                breaker.record_success()
             cell_span.set_attrs(
                 ready=report.ready,
                 evaluation_hit=(report.cache.evaluation_hit
-                                if report.cache else False))
+                                if report.cache else False),
+                faulted=report.failure is not None)
             cell_span.add_sim_seconds(report.feam_seconds)
             obs.histogram("engine.cell.wall_seconds").observe(
                 time.perf_counter() - started)
             obs.histogram("engine.cell.sim_seconds").observe(
                 report.feam_seconds)
         return report
+
+    def degraded_report(self, site, provenance: FailureProvenance,
+                        ) -> TargetReport:
+        """An UNKNOWN report for a cell that could not be evaluated.
+
+        Optimistic by the paper's semantics: nothing was *determined*
+        incompatible, so ``ready`` stays True while all four
+        determinants read UNKNOWN (the grid renders ``unknown``).  The
+        provenance rides along in ``report.failure``."""
+        tec = self._tecs.get(site.name)
+        environment = tec._environment if tec is not None else None
+        if environment is None:
+            environment = _unknown_environment(site.name)
+        determinants = tuple(
+            DeterminantResult(d, Outcome.UNKNOWN,
+                              f"not evaluated: {provenance.kind}")
+            for d in Determinant)
+        return TargetReport(
+            prediction=Prediction(
+                ready=True, mode=PredictionMode.BASIC,
+                determinants=determinants,
+                reasons=(provenance.render(),)),
+            environment=environment,
+            feam_seconds=(self.config.feam_base_seconds
+                          + provenance.retry_seconds),
+            cache=CellCacheInfo(),
+            failure=provenance)
 
     def _evaluate_cell(self, site, binary_path, image, binary_id,
                        bundle, staging_tag) -> TargetReport:
@@ -393,7 +585,8 @@ class EvaluationEngine:
         if binary_path is not None and image is None:
             image = site.machine.fs.read(binary_path)
 
-        _environment, discovery_hit = self._discover(site)
+        _environment, discovery_hit, discover_retry_seconds = \
+            self._discover(site)
         fingerprint = self._fingerprints[site.name]
 
         description_hit = False
@@ -421,8 +614,22 @@ class EvaluationEngine:
                 evaluation_hit=True))
 
         tec = self.tec_for(site)
-        report = tec.evaluate(description, binary_path=binary_path,
-                              bundle=bundle, staging_tag=tag)
+
+        def attempt() -> TargetReport:
+            # Explicit checkpoint: reading the staged binary back is the
+            # evaluation's first substrate touch (arm-free fault plans
+            # inject here; armed plans also perturb the reads below).
+            faults.check(site.name, faults.FaultKind.READ_ERROR,
+                         key=binary_path or tag)
+            return tec.evaluate(description, binary_path=binary_path,
+                                bundle=bundle, staging_tag=tag)
+
+        report, _attempts, retry_seconds = with_retries(
+            self.resilience.retry, f"evaluate:{site.name}:{tag}", attempt,
+            operation="evaluate", site=site.name,
+            deadline_seconds=self.resilience.cell_deadline_seconds)
+        if retry_seconds or discover_retry_seconds:
+            report.feam_seconds += retry_seconds + discover_retry_seconds
         report.cache = CellCacheInfo(
             description_hit=description_hit,
             discovery_hit=discovery_hit,
@@ -436,17 +643,29 @@ class EvaluationEngine:
     # -- the matrix ----------------------------------------------------------------------
 
     def evaluate_matrix(self, binaries: Sequence, sites: Sequence,
-                        bundles: Optional[dict] = None) -> MatrixResult:
+                        bundles: Optional[dict] = None,
+                        journal: Optional[MatrixJournal] = None,
+                        resume: Optional[dict] = None) -> MatrixResult:
         """Evaluate every binary against every site, in parallel by site.
 
         *binaries* holds :class:`EngineBinary` items or anything with
         ``binary_id`` and ``image`` attributes (e.g. the corpus's
         ``CompiledBinary``); *bundles* optionally maps binary ids to
         source-phase bundles for extended-mode cells.
+
+        With a *journal*, every completed cell is appended (and flushed)
+        as it finishes; *resume* -- a :meth:`MatrixJournal.load` mapping
+        -- restores already-journalled cells without re-evaluating them.
+        A worker that dies mid-site never aborts the matrix: its
+        remaining cells degrade to UNKNOWN with provenance.
         """
         specs = [self._coerce(b, bundles) for b in binaries]
         workers = self.max_workers or min(8, max(1, len(sites)))
         busy_seconds: list[float] = []  # one entry per site worker
+        resumed = 0
+        if resume:
+            resumed = sum(1 for spec in specs for site in sites
+                          if (spec.binary_id, site.name) in resume)
 
         with obs.span("engine.matrix", binaries=len(specs),
                       sites=len(sites), workers=workers) as matrix_span:
@@ -456,17 +675,44 @@ class EvaluationEngine:
                 worker_started = time.perf_counter()
                 with obs.span("engine.site", parent=matrix_span,
                               site=site.name) as site_span:
-                    cells = []
-                    for spec in specs:
-                        report = self.evaluate_cell(
-                            site, image=spec.image,
-                            binary_id=spec.binary_id,
-                            bundle=spec.bundle,
-                            staging_tag=(f"{spec.binary_id}-{site.name}"
-                                         .replace("/", "-")))
-                        cells.append(MatrixCell(
-                            binary_id=spec.binary_id, site_name=site.name,
-                            report=report))
+                    cells: list[MatrixCell] = []
+                    try:
+                        for spec in specs:
+                            restored = (resume or {}).get(
+                                (spec.binary_id, site.name))
+                            if restored is not None:
+                                cells.append(cell_from_record(restored))
+                                continue
+                            report = self.evaluate_cell(
+                                site, image=spec.image,
+                                binary_id=spec.binary_id,
+                                bundle=spec.bundle,
+                                staging_tag=(f"{spec.binary_id}-{site.name}"
+                                             .replace("/", "-")))
+                            cell = MatrixCell(
+                                binary_id=spec.binary_id,
+                                site_name=site.name, report=report)
+                            if journal is not None:
+                                journal.record(cell_record(cell))
+                            cells.append(cell)
+                    except (KeyboardInterrupt, SystemExit):
+                        raise
+                    except Exception as exc:
+                        # A dying worker must not lose the other sites'
+                        # (or its own completed) cells: fill the rest of
+                        # this column with UNKNOWN + provenance.
+                        provenance = provenance_from(
+                            exc, site=site.name, operation="worker")
+                        obs.event("resilience.worker_failed",
+                                  site=site.name, error=str(exc),
+                                  completed=len(cells))
+                        obs.counter("resilience.workers.failed").inc()
+                        for spec in specs[len(cells):]:
+                            cells.append(MatrixCell(
+                                binary_id=spec.binary_id,
+                                site_name=site.name,
+                                report=self.degraded_report(
+                                    site, provenance)))
                     site_span.set_attrs(
                         cells=len(cells),
                         ready=sum(c.ready for c in cells))
@@ -494,7 +740,11 @@ class EvaluationEngine:
         cells = [per_site[s][b]
                  for b in range(len(specs)) for s in range(len(sites))]
         self._publish_matrix_metrics(cells)
-        return MatrixResult(cells=cells, stats=self.stats.snapshot())
+        quarantined = tuple(
+            name for name, state in self.site_health().items()
+            if state != BreakerState.CLOSED.value)
+        return MatrixResult(cells=cells, stats=self.stats.snapshot(),
+                            quarantined=quarantined, resumed=resumed)
 
     def _publish_matrix_metrics(self, cells: list[MatrixCell]) -> None:
         """Matrix-level gauges for the SLO layer and ``/metrics``.
@@ -509,9 +759,12 @@ class EvaluationEngine:
         if total:
             ready = sum(1 for c in cells if c.outcome_word == "ready")
             unknown = sum(1 for c in cells if c.outcome_word == "unknown")
+            faulted = sum(1 for c in cells if c.faulted)
             obs.gauge("matrix.ready_cells.pct").set(100.0 * ready / total)
             obs.gauge("matrix.unknown_cells.pct").set(
                 100.0 * unknown / total)
+            obs.gauge("matrix.faulted_cells.pct").set(
+                100.0 * faulted / total)
         stats = self.stats
         hits = (stats.description_hits + stats.discovery_hits
                 + stats.evaluation_hits)

@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import dataclasses
 import posixpath
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro import obs
 from repro.core.bundle import SourceBundle
@@ -57,6 +57,9 @@ from repro.core.resolution import ResolutionModel, ResolutionPlan
 from repro.sysmodel.env import Environment
 from repro.sysmodel.fs import FsError
 from repro.toolchain.compilers import Language
+
+if TYPE_CHECKING:
+    from repro.core.resilience import FailureProvenance
 
 
 def _loader_failure(detail: str) -> bool:
@@ -116,10 +119,17 @@ class TargetReport:
     output_path: Optional[str] = None
     #: Engine cache provenance (None when evaluated outside the engine).
     cache: Optional[CellCacheInfo] = None
+    #: Set when evaluation degraded to UNKNOWN instead of completing
+    #: (injected or real fault; see :mod:`repro.core.resilience`).
+    failure: Optional["FailureProvenance"] = None
 
     @property
     def ready(self) -> bool:
         return self.prediction.ready
+
+    @property
+    def faulted(self) -> bool:
+        return self.failure is not None
 
 
 class TargetEvaluationComponent:

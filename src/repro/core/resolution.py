@@ -28,7 +28,9 @@ from repro.core.bundle import SourceBundle
 from repro.core.config import FeamConfig
 from repro.core.description import LibraryRecord
 from repro.core.discovery import EnvironmentDescription
+from repro.sysmodel import faults
 from repro.sysmodel.env import Environment
+from repro.sysmodel.fs import FsError
 from repro.tools.toolbox import Toolbox
 
 
@@ -206,15 +208,25 @@ class ResolutionModel:
                 if decision.usable and record is not None:
                     self._collect_closure(record, bundle, env, to_stage)
             staged_paths: dict[str, str] = {}
-            for soname, record in to_stage.items():
-                assert record.image is not None
-                path = posixpath.join(staging_dir, soname)
-                fs.write(path, record.image, mode=0o755)
-                staged_paths[soname] = path
-                obs.event("resolution.staged", soname=soname,
-                          bytes=len(record.image), path=path)
-                obs.counter("resolution.staged_bytes").inc(
-                    len(record.image))
+            hostname = self.toolbox.machine.hostname
+            try:
+                for soname, record in to_stage.items():
+                    assert record.image is not None
+                    path = posixpath.join(staging_dir, soname)
+                    faults.check(hostname, faults.FaultKind.COPY_FAILURE,
+                                 key=path)
+                    fs.write(path, record.image, mode=0o755)
+                    staged_paths[soname] = path
+                    obs.event("resolution.staged", soname=soname,
+                              bytes=len(record.image), path=path)
+                    obs.counter("resolution.staged_bytes").inc(
+                        len(record.image))
+            except Exception as exc:
+                # A copy died mid-plan: a half-staged directory would be
+                # found by the loader and mask the failure.  Roll back
+                # what this plan staged, then let the caller decide.
+                self._rollback(staged_paths, staging_dir, exc)
+                raise
             sp.set_attrs(staged=len(to_stage))
         decisions = [
             dataclasses.replace(d, staged_path=staged_paths.get(d.soname))
@@ -232,6 +244,20 @@ class ResolutionModel:
             staging_dir=staging_dir,
             resolved_all=resolved_all,
             env_additions=env_additions)
+
+    def _rollback(self, staged_paths: dict[str, str], staging_dir: str,
+                  cause: Exception) -> None:
+        fs = self.toolbox.machine.fs
+        removed = 0
+        for path in staged_paths.values():
+            try:
+                fs.remove(path)
+                removed += 1
+            except FsError:
+                pass  # never let cleanup mask the original failure
+        obs.event("resolution.rollback", staging_dir=staging_dir,
+                  rolled_back=removed, reason=str(cause))
+        obs.counter("resolution.rollbacks").inc()
 
     def _collect_closure(self, record: LibraryRecord, bundle: SourceBundle,
                          env: Environment,

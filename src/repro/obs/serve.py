@@ -30,10 +30,18 @@ Endpoints:
 path       response
 ========== ============================================================
 /metrics   Prometheus text exposition of the collector's registry
-/healthz   ``{"status": "ok", "spans": N, "events": N, "active": B}``
+/healthz   ``{"status": "ok", "spans": N, "events": N, "active": B,
+           "breakers": {site: state}}``
 /trace     the latest span tree as nested JSON
-/slo       DEFAULT_RULES (or the server's rules) against live metrics
+/slo       DEFAULT_RULES (or the server's rules) against live metrics,
+           plus the same per-site ``breakers`` map
 ========== ============================================================
+
+Both health-facing endpoints surface circuit-breaker state: the
+resilience layer publishes one ``resilience.breaker.<site>.state``
+gauge per site (0=closed, 1=half-open, 2=open) and
+:func:`breaker_states` folds those back into words, so a probe can
+alert on quarantined sites without parsing Prometheus text.
 """
 
 from __future__ import annotations
@@ -52,6 +60,32 @@ _NAME_SANITIZE = re.compile(r"[^a-zA-Z0-9_:]")
 
 #: Conventional exposition content type (Prometheus text format 0.0.4).
 CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Gauge names of the form ``resilience.breaker.<site>.state`` carry the
+#: circuit-breaker state for one site.  The numeric codes mirror
+#: ``repro.core.resilience.BREAKER_STATE_CODES`` -- duplicated here
+#: (word side) because ``repro.obs`` is a strictly lower layer and must
+#: not import ``repro.core``.
+_BREAKER_GAUGE = re.compile(r"^resilience\.breaker\.(?P<site>.+)\.state$")
+_BREAKER_WORDS = {0: "closed", 1: "half-open", 2: "open"}
+
+
+def breaker_states(registry) -> dict:
+    """Per-site circuit-breaker state words from breaker gauges.
+
+    Scans the registry for ``resilience.breaker.<site>.state`` gauges
+    and maps their codes back to state words; unknown codes are
+    reported verbatim so a skewed producer is visible, not hidden.
+    """
+    _counters, gauges, _histograms = registry.instruments()
+    states = {}
+    for name, gauge in gauges.items():
+        match = _BREAKER_GAUGE.match(name)
+        if match is not None:
+            code = int(gauge.value)
+            states[match.group("site")] = _BREAKER_WORDS.get(
+                code, f"code-{code}")
+    return dict(sorted(states.items()))
 
 
 def _metric_name(name: str, namespace: str) -> str:
@@ -161,6 +195,7 @@ class _Handler(BaseHTTPRequestHandler):
                 "active": bool(collector.active),
                 "spans": len(spans),
                 "events": len(getattr(collector.events, "events", ())),
+                "breakers": breaker_states(collector.metrics),
             }
             self._reply_json(200, payload)
         elif path == "/trace":
@@ -169,7 +204,9 @@ class _Handler(BaseHTTPRequestHandler):
         elif path == "/slo":
             report = slo_mod.evaluate(
                 telemetry.rules, collector.metrics.to_dict())
-            self._reply_json(200 if report.ok else 503, report.to_dict())
+            payload = report.to_dict()
+            payload["breakers"] = breaker_states(collector.metrics)
+            self._reply_json(200 if report.ok else 503, payload)
         else:
             self._reply_json(404, {"error": f"unknown path {path!r}",
                                    "paths": ["/metrics", "/healthz",

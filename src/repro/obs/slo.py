@@ -168,12 +168,17 @@ def parse_rules(text: str) -> list[SloRule]:
 
 
 #: The default service objectives for a warm batch-evaluation run.
+#: The resilience rules are optional: their counters only exist once
+#: the retry/fault plumbing ran, and a clean (no-fault) run must show
+#: zero injections and zero retries.
 DEFAULT_RULES: tuple[SloRule, ...] = tuple(parse_rules("""
     engine.cache.hit_rate          >= 0.5
     matrix.unknown_cells.pct       <= 10
     matrix.cells.total             >  0
     engine.cell.wall_seconds:p95   <= 2     ?
     engine.matrix.worker_utilization >= 0.1  ?
+    resilience.faults.injected     <= 0     ?
+    resilience.retries.total       <= 0     ?
 """))
 
 

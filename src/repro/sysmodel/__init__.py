@@ -7,7 +7,8 @@ provides the simulated equivalent: a virtual filesystem
 (:mod:`repro.sysmodel.distro`), process environments
 (:mod:`repro.sysmodel.env`), a faithful dynamic-loader simulation
 (:mod:`repro.sysmodel.loader`), the failure taxonomy of the paper's
-Section VI.C (:mod:`repro.sysmodel.errors`), and the :class:`Machine`
+Section VI.C (:mod:`repro.sysmodel.errors`), deterministic fault injection
+(:mod:`repro.sysmodel.faults`), and the :class:`Machine`
 aggregate that ties them together.
 """
 
@@ -16,6 +17,13 @@ from repro.sysmodel.errors import (
     ExecutionOutcome,
     ExecutionResult,
     FailureKind,
+)
+from repro.sysmodel.faults import (
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    InjectedReadError,
 )
 from repro.sysmodel.fs import FileNode, FsError, VirtualFilesystem
 from repro.sysmodel.library import LibraryName, parse_library_name, sonames_compatible
@@ -32,8 +40,13 @@ __all__ = [
     "ExecutionOutcome",
     "ExecutionResult",
     "FailureKind",
+    "FaultKind",
+    "FaultPlan",
+    "FaultSpec",
     "FileNode",
     "FsError",
+    "InjectedFault",
+    "InjectedReadError",
     "LibraryName",
     "Machine",
     "ResolutionReport",

@@ -1,0 +1,411 @@
+"""Deterministic fault injection for the simulated substrate.
+
+Real sites are unreliable: discovery commands hang, filesystems flake,
+ELF images arrive truncated, library copies die mid-transfer.  The
+simulated substrate is perfectly well-behaved, so resilience code paths
+(`repro.core.resilience`) would otherwise go untested.  This module
+injects site-scoped faults *deterministically*:
+
+* A :class:`FaultPlan` holds :class:`FaultSpec` entries -- fault kind,
+  site scope, probability, transient-vs-persistent flavour -- parseable
+  from a one-line-per-fault text format or JSON, with named built-in
+  profiles (``flaky``, ``partition``, ``corrupt``, ``none``).
+* Every fire decision is a *hash-keyed* draw
+  (:func:`repro.util.hashing.stable_uniform` over the plan seed, fault
+  kind, site and opportunity key), never a sequence-based RNG, so thread
+  interleaving and cache warm-up order cannot change which operations
+  fault.  Two runs with the same plan seed inject the same faults.
+* Transient faults fire a bounded number of times per opportunity key
+  and then clear (a retry succeeds); persistent faults fire forever
+  (retries exhaust and the cell degrades to UNKNOWN).
+* Every injection is recorded as an ``obs`` event
+  (``fault.injected``) and counted (``resilience.faults.injected``).
+
+The module-level facade mirrors :mod:`repro.obs`: injection points call
+:func:`check`/:func:`filter_image`, which are no-ops until a plan is
+installed with :func:`install` or the :func:`injecting` context manager.
+A plan can additionally be :meth:`armed <FaultPlan.arm>` onto sites'
+virtual filesystems, perturbing *every* read the tools layer performs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import json
+import threading
+from contextlib import contextmanager
+from typing import Iterable, Optional
+
+from repro import obs
+from repro.sysmodel.fs import FsError
+from repro.util.hashing import stable_uniform
+
+_ELF_MAGIC = b"\x7fELF"
+
+
+class FaultKind(enum.Enum):
+    """What breaks.  Values are the spelling profiles use."""
+
+    #: The EDC's discovery commands hang past their deadline.
+    DISCOVERY_TIMEOUT = "discovery-timeout"
+    #: A filesystem read fails outright (I/O error).
+    READ_ERROR = "read-error"
+    #: An ELF image is cut short mid-read (torn page / partial transfer).
+    ELF_TRUNCATION = "elf-truncation"
+    #: An ELF image arrives with flipped bytes in its header.
+    ELF_CORRUPTION = "elf-corruption"
+    #: A library copy dies mid-transfer while the resolution model stages.
+    COPY_FAILURE = "copy-failure"
+
+
+_KINDS_BY_VALUE = {kind.value: kind for kind in FaultKind}
+#: Kinds that perturb returned bytes instead of raising.
+_IMAGE_KINDS = (FaultKind.ELF_TRUNCATION, FaultKind.ELF_CORRUPTION)
+
+
+class InjectedFault(RuntimeError):
+    """An injected fault surfacing as an exception."""
+
+    def __init__(self, kind: FaultKind, site: str, key: str,
+                 transient: bool, occurrence: int) -> None:
+        flavour = "transient" if transient else "persistent"
+        super().__init__(
+            f"injected {kind.value} at {site} ({key}) "
+            f"[{flavour}, occurrence {occurrence}]")
+        self.kind = kind
+        self.site = site
+        self.key = key
+        self.transient = transient
+        self.occurrence = occurrence
+
+
+class InjectedReadError(InjectedFault, FsError):
+    """An injected read/copy failure; also an :class:`FsError` so code
+    with realistic OSError handling sees what a real site would raise."""
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultSpec:
+    """One fault family: kind, site scope, probability, flavour."""
+
+    kind: FaultKind
+    #: Site hostnames the fault applies to; ``"*"`` matches every site.
+    sites: tuple[str, ...] = ("*",)
+    #: Probability in (0, 1] that a given opportunity key is fault-armed.
+    rate: float = 1.0
+    #: Transient faults clear after :attr:`fires` occurrences per key.
+    transient: bool = False
+    fires: int = 1
+
+    def matches(self, site: str) -> bool:
+        return "*" in self.sites or site in self.sites
+
+    def render(self) -> str:
+        parts = [self.kind.value, "@", ",".join(self.sites),
+                 f"rate={self.rate:g}",
+                 "transient" if self.transient else "persistent"]
+        if self.transient:
+            parts.append(f"fires={self.fires}")
+        return " ".join(parts)
+
+
+#: Built-in profiles (text format, one fault per line).
+PROFILES: dict[str, str] = {
+    "none": "",
+    # Mostly-transient chaos: retries absorb some of it, persistent
+    # read errors degrade the rest to UNKNOWN cells.
+    "flaky": "\n".join([
+        "discovery-timeout @ * rate=0.5 transient fires=2",
+        "copy-failure      @ * rate=0.3 transient fires=2",
+        "elf-truncation    @ * rate=0.1 persistent",
+        "read-error        @ * rate=0.15 persistent",
+    ]),
+    # One-sided outage: every discovery and read at the first paper
+    # site fails forever -- drives breakers open and quarantine.
+    "partition": "\n".join([
+        "discovery-timeout @ ranger rate=1.0 persistent",
+        "read-error        @ ranger rate=1.0 persistent",
+    ]),
+    # Data integrity chaos: images arrive torn or bit-flipped.
+    "corrupt": "\n".join([
+        "elf-truncation @ * rate=0.25 persistent",
+        "elf-corruption @ * rate=0.25 persistent",
+    ]),
+}
+
+
+class FaultPlan:
+    """A seeded, deterministic set of fault specs plus fire bookkeeping.
+
+    Thread-safe; the rate draw for an opportunity is a pure function of
+    ``(seed, kind, site, key)``, and per-key occurrence counts make
+    transient faults clear after ``fires`` hits regardless of which
+    thread asks.
+    """
+
+    def __init__(self, specs: Iterable[FaultSpec] = (), seed: int = 0,
+                 name: str = "custom") -> None:
+        self.specs = tuple(specs)
+        self.seed = seed
+        self.name = name
+        self._lock = threading.Lock()
+        #: (kind value, site, key) -> occurrences observed so far.
+        self._occurrences: dict[tuple[str, str, str], int] = {}
+        #: (kind value, site) -> injections actually fired.
+        self._fired: dict[tuple[str, str], int] = {}
+
+    # -- parsing -----------------------------------------------------------------
+
+    @staticmethod
+    def parse(text: str, seed: int = 0, name: str = "custom") -> "FaultPlan":
+        """Parse a profile from the text format or JSON.
+
+        Text format, one fault per line (``#`` comments)::
+
+            discovery-timeout @ ranger,fir rate=0.5 transient fires=2
+            read-error @ * rate=0.15 persistent
+
+        JSON::
+
+            {"name": "...", "faults": [{"kind": "read-error",
+             "sites": ["*"], "rate": 0.15, "transient": false}]}
+        """
+        stripped = text.strip()
+        if stripped.startswith("{"):
+            return FaultPlan._parse_json(stripped, seed, name)
+        specs = []
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            line = line.split("#", 1)[0].strip()
+            if not line:
+                continue
+            specs.append(FaultPlan._parse_line(line, lineno))
+        return FaultPlan(specs, seed=seed, name=name)
+
+    @staticmethod
+    def _parse_line(line: str, lineno: int) -> FaultSpec:
+        tokens = line.split()
+        kind = _KINDS_BY_VALUE.get(tokens[0])
+        if kind is None:
+            raise ValueError(
+                f"fault profile line {lineno}: unknown fault kind "
+                f"{tokens[0]!r} (known: {sorted(_KINDS_BY_VALUE)})")
+        sites: tuple[str, ...] = ("*",)
+        kwargs: dict = {}
+        index = 1
+        while index < len(tokens):
+            token = tokens[index]
+            if token == "@":
+                index += 1
+                if index >= len(tokens):
+                    raise ValueError(
+                        f"fault profile line {lineno}: '@' needs sites")
+                sites = tuple(s for s in tokens[index].split(",") if s)
+            elif token == "transient":
+                kwargs["transient"] = True
+            elif token == "persistent":
+                kwargs["transient"] = False
+            elif token.startswith("rate="):
+                kwargs["rate"] = float(token[len("rate="):])
+            elif token.startswith("fires="):
+                kwargs["fires"] = int(token[len("fires="):])
+            else:
+                raise ValueError(
+                    f"fault profile line {lineno}: unknown token {token!r}")
+            index += 1
+        return FaultSpec(kind=kind, sites=sites, **kwargs)
+
+    @staticmethod
+    def _parse_json(text: str, seed: int, name: str) -> "FaultPlan":
+        payload = json.loads(text)
+        specs = []
+        for entry in payload.get("faults", []):
+            kind = _KINDS_BY_VALUE.get(entry.get("kind", ""))
+            if kind is None:
+                raise ValueError(
+                    f"fault profile: unknown fault kind {entry.get('kind')!r}")
+            specs.append(FaultSpec(
+                kind=kind,
+                sites=tuple(entry.get("sites", ("*",))),
+                rate=float(entry.get("rate", 1.0)),
+                transient=bool(entry.get("transient", False)),
+                fires=int(entry.get("fires", 1))))
+        return FaultPlan(specs, seed=seed,
+                         name=str(payload.get("name", name)))
+
+    @staticmethod
+    def profile(name: str, seed: int = 0) -> "FaultPlan":
+        """A built-in named profile (see :data:`PROFILES`)."""
+        if name not in PROFILES:
+            raise ValueError(f"unknown fault profile {name!r} "
+                             f"(built-in: {sorted(PROFILES)})")
+        return FaultPlan.parse(PROFILES[name], seed=seed, name=name)
+
+    def render(self) -> str:
+        return "\n".join(spec.render() for spec in self.specs) + "\n"
+
+    # -- fire decisions ----------------------------------------------------------
+
+    def _spec_for(self, kind: FaultKind, site: str) -> Optional[FaultSpec]:
+        for spec in self.specs:
+            if spec.kind is kind and spec.matches(site):
+                return spec
+        return None
+
+    def _fires(self, spec: FaultSpec, site: str, key: str) -> int:
+        """0 when the opportunity passes clean; else the occurrence number.
+
+        The rate draw depends only on (seed, kind, site, key): an
+        opportunity is either fault-armed for the whole run or never.
+        Armed transient opportunities fire for the first ``fires``
+        attempts and then clear.
+        """
+        draw = stable_uniform(self.seed, spec.kind.value, site, key)
+        if draw >= spec.rate:
+            return 0
+        with self._lock:
+            counter_key = (spec.kind.value, site, key)
+            occurrence = self._occurrences.get(counter_key, 0) + 1
+            if spec.transient and occurrence > spec.fires:
+                return 0
+            self._occurrences[counter_key] = occurrence
+            fired_key = (spec.kind.value, site)
+            self._fired[fired_key] = self._fired.get(fired_key, 0) + 1
+        return occurrence
+
+    def _record(self, spec: FaultSpec, site: str, key: str,
+                occurrence: int) -> None:
+        obs.event("fault.injected", kind=spec.kind.value, site=site,
+                  key=key, transient=spec.transient, occurrence=occurrence)
+        obs.counter("resilience.faults.injected").inc()
+        obs.counter(f"resilience.faults.{spec.kind.value}").inc()
+
+    def check(self, site: str, kind: FaultKind, key: str = "") -> None:
+        """Raise an :class:`InjectedFault` when this opportunity faults."""
+        spec = self._spec_for(kind, site)
+        if spec is None:
+            return
+        occurrence = self._fires(spec, site, key)
+        if not occurrence:
+            return
+        self._record(spec, site, key, occurrence)
+        exc_type = (InjectedReadError
+                    if kind in (FaultKind.READ_ERROR, FaultKind.COPY_FAILURE)
+                    else InjectedFault)
+        raise exc_type(kind, site, key, spec.transient, occurrence)
+
+    def filter_image(self, site: str, key: str, data: bytes) -> bytes:
+        """Perturb ELF bytes (truncation/corruption); non-ELF data and
+        clean opportunities pass through untouched."""
+        if not data.startswith(_ELF_MAGIC):
+            return data
+        for kind in _IMAGE_KINDS:
+            spec = self._spec_for(kind, site)
+            if spec is None:
+                continue
+            occurrence = self._fires(spec, site, key)
+            if not occurrence:
+                continue
+            self._record(spec, site, key, occurrence)
+            if kind is FaultKind.ELF_TRUNCATION:
+                # Cut inside the ELF header: unambiguously torn.
+                return data[:12]
+            # Flip bytes across the header: magic survives the first 4
+            # bytes being kept so the parser sees a *corrupt* ELF, not a
+            # non-ELF file.
+            header = bytes(b ^ 0x5A for b in data[4:16])
+            return data[:4] + header + data[16:]
+        return data
+
+    # -- filesystem arming -------------------------------------------------------
+
+    def hook_for(self, site_name: str):
+        """A ``VirtualFilesystem.fault_hook`` bound to *site_name*."""
+        def hook(path: str, data: bytes) -> bytes:
+            self.check(site_name, FaultKind.READ_ERROR, key=path)
+            return self.filter_image(site_name, path, data)
+        return hook
+
+    def arm(self, sites: Iterable) -> "FaultPlan":
+        """Install read hooks on every site's virtual filesystem."""
+        for site in sites:
+            machine = getattr(site, "machine", site)
+            machine.fs.fault_hook = self.hook_for(machine.hostname)
+        return self
+
+    @staticmethod
+    def disarm(sites: Iterable) -> None:
+        for site in sites:
+            machine = getattr(site, "machine", site)
+            machine.fs.fault_hook = None
+
+    # -- reporting ---------------------------------------------------------------
+
+    @property
+    def injected(self) -> int:
+        with self._lock:
+            return sum(self._fired.values())
+
+    def summary(self) -> dict:
+        """Injection counts: total, per kind, and per (kind, site)."""
+        with self._lock:
+            fired = dict(self._fired)
+        by_kind: dict[str, int] = {}
+        for (kind, _site), count in fired.items():
+            by_kind[kind] = by_kind.get(kind, 0) + count
+        return {
+            "profile": self.name,
+            "seed": self.seed,
+            "injected": sum(fired.values()),
+            "by_kind": dict(sorted(by_kind.items())),
+            "by_site": {f"{kind}@{site}": count
+                        for (kind, site), count in sorted(fired.items())},
+        }
+
+
+# -- module facade (mirrors repro.obs) ------------------------------------------
+
+_active: Optional[FaultPlan] = None
+
+
+def active() -> Optional[FaultPlan]:
+    """The installed plan, or None (the common, zero-cost case)."""
+    return _active
+
+
+def install(plan: FaultPlan) -> FaultPlan:
+    global _active
+    _active = plan
+    return plan
+
+
+def uninstall() -> None:
+    global _active
+    _active = None
+
+
+@contextmanager
+def injecting(plan: FaultPlan):
+    """Install *plan* for the duration of the block."""
+    global _active
+    previous = _active
+    _active = plan
+    try:
+        yield plan
+    finally:
+        _active = previous
+
+
+def check(site: str, kind: FaultKind, key: str = "") -> None:
+    """Facade checkpoint: no-op unless a plan is installed."""
+    plan = _active
+    if plan is not None:
+        plan.check(site, kind, key)
+
+
+def filter_image(site: str, key: str, data: bytes) -> bytes:
+    """Facade image filter: identity unless a plan is installed."""
+    plan = _active
+    if plan is None:
+        return data
+    return plan.filter_image(site, key, data)

@@ -86,6 +86,12 @@ class VirtualFilesystem:
 
     def __init__(self) -> None:
         self._root = DirNode()
+        #: Optional read perturbation, installed by
+        #: :meth:`repro.sysmodel.faults.FaultPlan.arm`: called as
+        #: ``hook(path, data)`` after a successful read; may raise
+        #: :class:`FsError` or return mutated bytes.  None (the default)
+        #: costs one attribute check per read.
+        self.fault_hook: Optional[Callable[[str, bytes], bytes]] = None
 
     # -- node resolution ------------------------------------------------------
 
@@ -197,7 +203,10 @@ class VirtualFilesystem:
         node = self._lookup(path)
         if not isinstance(node, FileNode):
             raise FsError(f"not a regular file: {path!r}")
-        return node.read()
+        data = node.read()
+        if self.fault_hook is not None:
+            data = self.fault_hook(path, data)
+        return data
 
     def read_text(self, path: str) -> str:
         return self.read(path).decode("utf-8", errors="replace")

@@ -1,0 +1,123 @@
+"""``feam chaos`` and ``feam matrix --journal/--resume`` end to end.
+
+These run the real CLI entry points (paper sites, real matrix) -- the
+contract CI's chaos-gate job relies on: exit 0 under injected faults,
+a fault/retry/breaker summary, byte-identical same-seed reruns, and a
+resume path that only re-evaluates what the journal is missing.
+"""
+
+import json
+
+import pytest
+
+from repro.__main__ import EXIT_FAILURE, EXIT_OK, feam_main
+
+
+def run_chaos(capsys, *extra):
+    code = feam_main(["chaos", "--binaries", "1", "--seed", "7",
+                      *extra])
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestChaosVerb:
+    def test_flaky_profile_completes_with_summary(self, capsys,
+                                                  tmp_path):
+        out_json = tmp_path / "summary.json"
+        code, out, err = run_chaos(
+            capsys, "--verbose", "--summary-out", str(out_json))
+        assert code == EXIT_OK
+        assert "READINESS MATRIX" in out
+        assert "chaos summary" in out
+        assert "faults injected:" in out
+        assert "breakers:" in out
+        assert "Traceback" not in err       # degrade, never crash
+        summary = json.loads(out_json.read_text())
+        assert summary["plan"]["profile"] == "flaky"
+        assert summary["plan"]["seed"] == 7
+        assert summary["plan"]["injected"] > 0
+        assert summary["matrix"]["cells"] == 5  # 1 binary x 5 sites
+        assert set(summary["breakers"]) == \
+            {"ranger", "forge", "blacklight", "india", "fir"}
+
+    def test_same_seed_reruns_are_byte_identical(self, capsys):
+        code_a, out_a, _ = run_chaos(capsys)
+        code_b, out_b, _ = run_chaos(capsys)
+        assert code_a == code_b == EXIT_OK
+        assert out_a == out_b
+
+    def test_profile_file_matches_the_builtin(self, capsys, tmp_path):
+        from repro.sysmodel.faults import PROFILES
+        profile = tmp_path / "custom.txt"
+        profile.write_text(PROFILES["flaky"] + "\n")
+        _, builtin_out, _ = run_chaos(capsys)
+        code, file_out, _ = run_chaos(capsys, "--profile", str(profile))
+        assert code == EXIT_OK
+        # Same grid and counts; only the profile name line differs.
+        strip = "profile: "
+        assert [l for l in file_out.splitlines()
+                if not l.startswith(strip)] == \
+            [l for l in builtin_out.splitlines()
+             if not l.startswith(strip)]
+
+    def test_none_profile_injects_nothing(self, capsys):
+        code, out, _ = run_chaos(capsys, "--profile", "none")
+        assert code == EXIT_OK
+        assert "faults injected: 0" in out
+
+    def test_journal_then_resume_restores_cells(self, capsys, tmp_path):
+        journal = tmp_path / "chaos.jsonl"
+        code, out_full, _ = run_chaos(capsys, "--journal", str(journal))
+        assert code == EXIT_OK
+        assert len(journal.read_text().splitlines()) == 5
+        code, out_resumed, err = run_chaos(capsys, "--resume",
+                                           str(journal))
+        assert code == EXIT_OK
+        assert "resuming: 5 cell(s)" in err
+        assert "5 resumed from the journal" in out_resumed
+        # The restored grid tells the same story.
+        grid = lambda text: [l for l in text.splitlines()
+                             if l.startswith("app-")]
+        assert grid(out_resumed) == grid(out_full)
+
+
+class TestChaosFailureModes:
+    def test_unknown_profile_is_operational_failure(self, capsys):
+        assert feam_main(["chaos", "--profile", "nope"]) == EXIT_FAILURE
+        assert "unknown fault profile" in capsys.readouterr().err
+
+    def test_bad_profile_file_is_operational_failure(self, capsys,
+                                                     tmp_path):
+        bad = tmp_path / "bad.txt"
+        bad.write_text("explode @ *\n")
+        assert feam_main(["chaos", "--profile", str(bad)]) \
+            == EXIT_FAILURE
+        assert "bad fault profile" in capsys.readouterr().err
+
+    def test_missing_resume_journal_is_operational_failure(
+            self, capsys, tmp_path):
+        assert feam_main(["chaos", "--resume",
+                          str(tmp_path / "no.jsonl")]) == EXIT_FAILURE
+        assert "cannot read journal" in capsys.readouterr().err
+
+
+class TestMatrixCheckpointFlags:
+    def test_matrix_journal_and_resume(self, capsys, tmp_path):
+        journal = tmp_path / "m.jsonl"
+        assert feam_main(["matrix", "--binaries", "1",
+                          "--journal", str(journal)]) == EXIT_OK
+        full = capsys.readouterr().out
+        assert len(journal.read_text().splitlines()) == 5
+        assert feam_main(["matrix", "--binaries", "1",
+                          "--resume", str(journal)]) == EXIT_OK
+        resumed = capsys.readouterr().out
+        assert "resumed: 5 cell(s) restored from the journal" in resumed
+        grid = lambda text: [l for l in text.splitlines()
+                             if l.startswith("app-")]
+        assert grid(resumed) == grid(full)
+
+    def test_matrix_missing_resume_journal_fails(self, capsys,
+                                                 tmp_path):
+        assert feam_main(["matrix", "--resume",
+                          str(tmp_path / "no.jsonl")]) == EXIT_FAILURE
+        assert "cannot read journal" in capsys.readouterr().err

@@ -230,6 +230,30 @@ class TestCheckRegression:
         assert gate.main(["--baseline", base, "--current", curr]) \
             == EXIT_REGRESSION
 
+    def test_faulted_benchmark_run_fails(self, gate, tmp_path, capsys):
+        base = self._write(tmp_path, "base.json", self.BASE)
+        # Faults in a no-fault benchmark poison the timings -- gated
+        # independently of the baseline (which predates the keys).
+        poisoned = dict(self.BASE, faults_injected=3)
+        curr = self._write(tmp_path, "curr.json", poisoned)
+        assert gate.main(["--baseline", base, "--current", curr]) \
+            == EXIT_REGRESSION
+        assert "faults_injected" in capsys.readouterr().err
+
+    def test_retry_poisoned_run_fails(self, gate, tmp_path, capsys):
+        base = self._write(tmp_path, "base.json", self.BASE)
+        poisoned = dict(self.BASE, retries=2)
+        curr = self._write(tmp_path, "curr.json", poisoned)
+        assert gate.main(["--baseline", base, "--current", curr]) \
+            == EXIT_REGRESSION
+        assert "retries" in capsys.readouterr().err
+
+    def test_explicit_zero_clean_counters_pass(self, gate, tmp_path):
+        base = self._write(tmp_path, "base.json", self.BASE)
+        clean = dict(self.BASE, faults_injected=0, retries=0)
+        curr = self._write(tmp_path, "curr.json", clean)
+        assert gate.main(["--baseline", base, "--current", curr]) == 0
+
     def test_profile_artifact_from_trace(self, gate, tmp_path):
         base = self._write(tmp_path, "base.json", self.BASE)
         trace = write_trace(tmp_path / "t.jsonl")

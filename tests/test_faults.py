@@ -1,0 +1,232 @@
+"""The fault-injection substrate: plans, determinism, the fs hook.
+
+The load-bearing property is *hash-keyed* fire decisions: whether an
+opportunity faults is a pure function of (seed, kind, site, key), so
+two plans built from the same profile and seed inject identical faults
+no matter the call order.  Everything else -- transient clearing,
+site scoping, ELF perturbation, the no-op facade -- rides on that.
+"""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.sysmodel import faults
+from repro.sysmodel.faults import (
+    PROFILES,
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    InjectedReadError,
+)
+from repro.sysmodel.fs import FsError
+
+ELF = b"\x7fELF" + bytes(range(60))
+
+
+def always(kind, sites=("*",), **kwargs):
+    return FaultSpec(kind=kind, sites=sites, rate=1.0, **kwargs)
+
+
+class TestParsing:
+    def test_text_round_trips_through_render(self):
+        plan = FaultPlan.parse(PROFILES["flaky"], seed=3, name="flaky")
+        again = FaultPlan.parse(plan.render(), seed=3, name="flaky")
+        assert again.specs == plan.specs
+
+    def test_text_format_fields(self):
+        plan = FaultPlan.parse(
+            "discovery-timeout @ ranger,fir rate=0.5 transient fires=2\n"
+            "# a comment\n"
+            "read-error @ * rate=0.15 persistent\n")
+        first, second = plan.specs
+        assert first.kind is FaultKind.DISCOVERY_TIMEOUT
+        assert first.sites == ("ranger", "fir")
+        assert first.transient and first.fires == 2
+        assert second.sites == ("*",) and not second.transient
+        assert second.rate == 0.15
+
+    def test_unknown_kind_reports_the_line(self):
+        with pytest.raises(ValueError, match="line 2.*explode"):
+            FaultPlan.parse("read-error @ *\nexplode @ *\n")
+
+    def test_unknown_token_rejected(self):
+        with pytest.raises(ValueError, match="unknown token"):
+            FaultPlan.parse("read-error @ * sometimes\n")
+
+    def test_json_profile(self):
+        plan = FaultPlan.parse(json.dumps({
+            "name": "from-json",
+            "faults": [{"kind": "elf-truncation", "sites": ["fir"],
+                        "rate": 0.25, "transient": True, "fires": 3}],
+        }), seed=9)
+        assert plan.name == "from-json"
+        (spec,) = plan.specs
+        assert spec.kind is FaultKind.ELF_TRUNCATION
+        assert spec.sites == ("fir",)
+        assert spec.transient and spec.fires == 3
+
+    def test_builtin_profiles_parse(self):
+        for name in PROFILES:
+            plan = FaultPlan.profile(name, seed=1)
+            assert plan.name == name
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault profile"):
+            FaultPlan.profile("nope")
+
+
+class TestDeterminism:
+    KEYS = [f"/lib/lib{i}.so" for i in range(40)]
+
+    def _armed(self, seed):
+        plan = FaultPlan([FaultSpec(FaultKind.READ_ERROR, rate=0.3)],
+                         seed=seed)
+        spec = plan.specs[0]
+        return {key for key in self.KEYS
+                if plan._fires(spec, "ranger", key)}
+
+    def test_same_seed_same_decisions(self):
+        assert self._armed(7) == self._armed(7)
+
+    def test_different_seed_different_decisions(self):
+        assert self._armed(7) != self._armed(8)
+
+    def test_decision_is_call_order_independent(self):
+        plan_a = FaultPlan([FaultSpec(FaultKind.READ_ERROR, rate=0.3)],
+                           seed=7)
+        plan_b = FaultPlan([FaultSpec(FaultKind.READ_ERROR, rate=0.3)],
+                           seed=7)
+        spec = plan_a.specs[0]
+        forward = [bool(plan_a._fires(spec, "s", k)) for k in self.KEYS]
+        backward = [bool(plan_b._fires(spec, "s", k))
+                    for k in reversed(self.KEYS)]
+        assert forward == list(reversed(backward))
+
+
+class TestFlavours:
+    def test_transient_clears_after_fires(self):
+        plan = FaultPlan([always(FaultKind.READ_ERROR, transient=True,
+                                 fires=2)])
+        for _ in range(2):
+            with pytest.raises(InjectedReadError):
+                plan.check("fir", FaultKind.READ_ERROR, key="/a")
+        plan.check("fir", FaultKind.READ_ERROR, key="/a")  # cleared
+        # Clearing is per opportunity key, not global.
+        with pytest.raises(InjectedReadError):
+            plan.check("fir", FaultKind.READ_ERROR, key="/b")
+
+    def test_persistent_fires_forever(self):
+        plan = FaultPlan([always(FaultKind.DISCOVERY_TIMEOUT)])
+        for _ in range(5):
+            with pytest.raises(InjectedFault):
+                plan.check("fir", FaultKind.DISCOVERY_TIMEOUT, key="d")
+
+    def test_site_scoping(self):
+        plan = FaultPlan([always(FaultKind.READ_ERROR,
+                                 sites=("ranger",))])
+        plan.check("forge", FaultKind.READ_ERROR, key="/a")  # clean
+        with pytest.raises(InjectedReadError):
+            plan.check("ranger", FaultKind.READ_ERROR, key="/a")
+
+    def test_read_error_is_an_fs_error(self):
+        plan = FaultPlan([always(FaultKind.COPY_FAILURE)])
+        with pytest.raises(FsError):
+            plan.check("fir", FaultKind.COPY_FAILURE, key="/a")
+
+    def test_summary_counts_fires(self):
+        plan = FaultPlan([always(FaultKind.READ_ERROR)], seed=5,
+                         name="s")
+        for key in ("/a", "/b"):
+            with pytest.raises(InjectedReadError):
+                plan.check("fir", FaultKind.READ_ERROR, key=key)
+        summary = plan.summary()
+        assert summary["injected"] == 2 == plan.injected
+        assert summary["by_kind"] == {"read-error": 2}
+        assert summary["by_site"] == {"read-error@fir": 2}
+
+
+class TestImagePerturbation:
+    def test_truncation_cuts_inside_the_header(self):
+        plan = FaultPlan([always(FaultKind.ELF_TRUNCATION)])
+        torn = plan.filter_image("fir", "/bin/app", ELF)
+        assert torn == ELF[:12]
+
+    def test_corruption_keeps_the_magic(self):
+        plan = FaultPlan([always(FaultKind.ELF_CORRUPTION)])
+        bad = plan.filter_image("fir", "/bin/app", ELF)
+        assert bad != ELF and len(bad) == len(ELF)
+        assert bad.startswith(b"\x7fELF")
+
+    def test_non_elf_data_passes_through(self):
+        plan = FaultPlan([always(FaultKind.ELF_TRUNCATION)])
+        text = b"#!/bin/sh\necho hello\n"
+        assert plan.filter_image("fir", "/bin/script", text) == text
+
+    def test_clean_draw_passes_through(self):
+        plan = FaultPlan([FaultSpec(FaultKind.ELF_TRUNCATION,
+                                    rate=0.0)])
+        assert plan.filter_image("fir", "/bin/app", ELF) == ELF
+
+
+class TestFacade:
+    def test_no_plan_is_a_no_op(self):
+        assert faults.active() is None
+        faults.check("fir", FaultKind.READ_ERROR, key="/a")
+        assert faults.filter_image("fir", "/a", ELF) == ELF
+
+    def test_injecting_installs_and_restores(self):
+        plan = FaultPlan([always(FaultKind.READ_ERROR)])
+        with faults.injecting(plan):
+            assert faults.active() is plan
+            with pytest.raises(InjectedReadError):
+                faults.check("fir", FaultKind.READ_ERROR, key="/a")
+        assert faults.active() is None
+
+    def test_injecting_restores_on_error(self):
+        plan = FaultPlan([])
+        with pytest.raises(RuntimeError, match="boom"):
+            with faults.injecting(plan):
+                raise RuntimeError("boom")
+        assert faults.active() is None
+
+
+class TestFilesystemArming:
+    def test_armed_read_raises_and_disarm_clears(self, mini_site):
+        fs = mini_site.machine.fs
+        fs.write("/tmp/payload", b"data")
+        plan = FaultPlan([always(FaultKind.READ_ERROR,
+                                 sites=(mini_site.machine.hostname,))])
+        plan.arm([mini_site])
+        with pytest.raises(FsError):
+            fs.read("/tmp/payload")
+        FaultPlan.disarm([mini_site])
+        assert fs.read("/tmp/payload") == b"data"
+
+    def test_armed_hook_perturbs_elf_reads(self, mini_site):
+        fs = mini_site.machine.fs
+        fs.write("/tmp/app", ELF, mode=0o755)
+        plan = FaultPlan([always(FaultKind.ELF_TRUNCATION)])
+        plan.arm([mini_site])
+        try:
+            assert fs.read("/tmp/app") == ELF[:12]
+        finally:
+            FaultPlan.disarm([mini_site])
+
+
+class TestObservability:
+    def test_every_injection_is_an_event_and_counter(self):
+        plan = FaultPlan([always(FaultKind.READ_ERROR)])
+        with obs.capture() as collector:
+            with pytest.raises(InjectedReadError):
+                plan.check("fir", FaultKind.READ_ERROR, key="/a")
+        events = [e for e in collector.events.events
+                  if e.name == "fault.injected"]
+        assert len(events) == 1
+        assert events[0].attrs["kind"] == "read-error"
+        assert events[0].attrs["site"] == "fir"
+        counters = collector.metrics.to_dict()["counters"]
+        assert counters["resilience.faults.injected"] == 1
+        assert counters["resilience.faults.read-error"] == 1

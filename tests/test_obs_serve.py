@@ -139,6 +139,20 @@ class TestEndpoints:
         assert payload["status"] == "ok"
         assert payload["spans"] == 2
         assert payload["active"] is True
+        assert payload["breakers"] == {}       # no breaker gauges yet
+
+    def test_healthz_and_slo_report_breaker_states(self):
+        collector = obs.Collector()
+        collector.metrics.gauge(
+            "resilience.breaker.fir.state").set(2)
+        collector.metrics.gauge(
+            "resilience.breaker.ranger.state").set(0)
+        with TelemetryServer(collector, port=0) as server:
+            _, health = _get(server.url + "/healthz")
+            _, slo = _get(server.url + "/slo")
+        expected = {"fir": "open", "ranger": "closed"}
+        assert json.loads(health)["breakers"] == expected
+        assert json.loads(slo)["breakers"] == expected
 
     def test_trace_tree(self, served):
         status, body = _get(served.url + "/trace")
