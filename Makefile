@@ -2,8 +2,11 @@
 
 PYTHON ?= python3
 
-.PHONY: install test ci bench bench-matrix perf-gate chaos serve slo \
-	trace tables report examples clean
+.PHONY: install test ci bench bench-matrix perf-gate fleet-gate chaos \
+	serve slo trace tables report examples clean
+
+# Wall-time budget (seconds) for the 1,000-site fleet evaluation.
+FLEET_BUDGET ?= 60
 
 install:
 	pip install -e .
@@ -23,6 +26,11 @@ bench-matrix:
 
 perf-gate: bench-matrix
 	PYTHONPATH=src $(PYTHON) benchmarks/check_regression.py
+
+fleet-gate:
+	PYTHONPATH=src $(PYTHON) benchmarks/emit_bench.py \
+		--fleet fleet:n=1000,seed=7 --budget-seconds $(FLEET_BUDGET) \
+		BENCH_fleet.json benchmarks/BENCH_history.jsonl
 
 chaos:
 	PYTHONPATH=src $(PYTHON) -m repro feam chaos \

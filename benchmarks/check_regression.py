@@ -43,7 +43,8 @@ EXIT_REGRESSION = 3   # the gate tripped (matches ``feam diff-trace``)
 #: Must match exactly between baseline and current.
 SHAPE_KEYS = ("cells", "binaries", "sites", "seed")
 #: May grow up to ``tolerance`` relative to the baseline.
-TIMING_KEYS = ("cold_seconds", "warm_seconds", "traced_seconds")
+TIMING_KEYS = ("cold_seconds", "warm_seconds", "reference_seconds",
+               "traced_seconds")
 #: Must be zero in the no-fault benchmark run (baseline-independent):
 #: a nonzero count means the resilience path fired without a fault
 #: plan installed, so the warm timings measure retries, not the cache.

@@ -18,13 +18,14 @@ half a minute); one run is shared across all requested artifacts.
 console script) drives the framework itself rather than the paper
 artifacts:
 
-* ``feam matrix`` -- batch-evaluate a set of binaries against every
-  paper site through the cached :class:`~repro.core.engine.\
-EvaluationEngine`, printing the readiness grid and cache statistics
-  (``--verbose`` adds per-cell cache provenance, ``--trace-out`` writes
-  the run's trace as JSONL, ``--journal`` checkpoints completed cells
-  as JSONL and ``--resume`` restores them, re-evaluating only the
-  rest);
+* ``feam matrix`` -- batch-evaluate a set of binaries against a site
+  set through the cached :class:`~repro.core.engine.EvaluationEngine`,
+  printing the readiness grid and cache statistics (``--sites`` picks
+  the paper's five sites or a generated fleet such as
+  ``fleet:n=1000,seed=7``, ``--verbose`` adds per-cell cache
+  provenance, ``--trace-out`` writes the run's trace as JSONL,
+  ``--journal`` checkpoints completed cells as JSONL and ``--resume``
+  restores them, re-evaluating only the rest);
 * ``feam chaos`` -- run the same matrix under a fault-injection
   profile (:mod:`repro.sysmodel.faults`): injected faults degrade
   cells to UNKNOWN with failure provenance instead of crashing the
@@ -125,11 +126,17 @@ def feam_main(argv: Optional[list[str]] = None) -> int:
         help="how many test binaries to compile (one per site, "
              "round-robin; default: 4)")
     matrix.add_argument(
+        "--sites", default="paper", metavar="SPEC",
+        help="site set: 'paper' (the five paper sites) or a generator "
+             "spec like 'fleet:n=1000,seed=7' (default: paper)")
+    matrix.add_argument(
         "--extended", action="store_true",
         help="also run source phases and evaluate in extended mode")
     matrix.add_argument(
         "--workers", type=int, default=None,
-        help="thread-pool size for the per-site planner")
+        help="worker-pool size for the work-stealing matrix planner "
+             "(default: the matrix_workers config key, or "
+             "min(32, 4 x cpu) when that is 0)")
     matrix.add_argument(
         "--verbose", action="store_true",
         help="also print per-cell cache provenance and non-pass "
@@ -163,6 +170,10 @@ def feam_main(argv: Optional[list[str]] = None) -> int:
     chaos.add_argument(
         "--binaries", type=int, default=4,
         help="how many test binaries to compile (default: 4)")
+    chaos.add_argument(
+        "--sites", default="paper", metavar="SPEC",
+        help="site set: 'paper' or a generator spec like "
+             "'fleet:n=100,seed=7' (default: paper)")
     chaos.add_argument(
         "--extended", action="store_true",
         help="also run source phases and evaluate in extended mode")
@@ -348,17 +359,26 @@ def _build_matrix_inputs(args):
     """Shared ``feam matrix`` / ``feam stats`` setup: sites + binaries."""
     from repro.core.engine import EngineBinary, EvaluationEngine
     from repro.core.feam import Feam
-    from repro.sites.catalog import build_paper_sites
+    from repro.sites.generator import describe_fleet, resolve_sites
     from repro.toolchain.compilers import Language
 
-    print("building the paper's five sites...", file=sys.stderr)
-    sites = build_paper_sites(args.seed, cached=False)
+    spec_text = getattr(args, "sites", None) or "paper"
+    print(f"building sites ({spec_text})...", file=sys.stderr)
+    try:
+        sites = resolve_sites(spec_text, default_seed=args.seed)
+    except ValueError as exc:
+        print(f"bad --sites spec: {exc}", file=sys.stderr)
+        return None
+    print(describe_fleet(sites), file=sys.stderr)
     engine = EvaluationEngine(max_workers=args.workers)
     feam = Feam(engine=engine)
     binaries: list[EngineBinary] = []
     bundles = {}
+    # Test binaries compile at the first sites round-robin; on a fleet
+    # that is the first few generated sites rather than the paper five.
+    build_pool = sites[:max(1, min(len(sites), args.binaries))]
     for index in range(max(1, args.binaries)):
-        site = sites[index % len(sites)]
+        site = build_pool[index % len(build_pool)]
         stack = site.stacks[index % len(site.stacks)]
         name = f"app-{site.name}-{stack.spec.slug}-{index}"
         linked = site.compile_mpi_program(name, Language.FORTRAN, stack)
@@ -409,7 +429,10 @@ def _feam_matrix(args) -> int:
     if checkpoint is None:
         return EXIT_FAILURE
     journal, resume = checkpoint
-    sites, engine, binaries, bundles = _build_matrix_inputs(args)
+    inputs = _build_matrix_inputs(args)
+    if inputs is None:
+        return EXIT_FAILURE
+    sites, engine, binaries, bundles = inputs
     print(f"evaluating {len(binaries)} binaries x {len(sites)} sites...",
           file=sys.stderr)
     try:
@@ -515,7 +538,10 @@ def _feam_chaos(args) -> int:
     if checkpoint is None:
         return EXIT_FAILURE
     journal, resume = checkpoint
-    sites, engine, binaries, bundles = _build_matrix_inputs(args)
+    inputs = _build_matrix_inputs(args)
+    if inputs is None:
+        return EXIT_FAILURE
+    sites, engine, binaries, bundles = inputs
     print(f"injecting fault profile {plan.name!r} "
           f"({len(plan.specs)} spec(s), seed {plan.seed}); evaluating "
           f"{len(binaries)} binaries x {len(sites)} sites...",
@@ -552,7 +578,10 @@ def _feam_chaos(args) -> int:
 def _feam_stats(args) -> int:
     from repro import obs
 
-    sites, engine, binaries, bundles = _build_matrix_inputs(args)
+    inputs = _build_matrix_inputs(args)
+    if inputs is None:
+        return EXIT_FAILURE
+    sites, engine, binaries, bundles = inputs
     print(f"evaluating {len(binaries)} binaries x {len(sites)} sites...",
           file=sys.stderr)
     with obs.capture() as collector:
@@ -723,7 +752,10 @@ def _feam_slo(args) -> int:
             return EXIT_FAILURE
         report = slo_mod.evaluate(rules, parsed.metrics)
     else:
-        sites, engine, binaries, bundles = _build_matrix_inputs(args)
+        inputs = _build_matrix_inputs(args)
+        if inputs is None:
+            return EXIT_FAILURE
+        sites, engine, binaries, bundles = inputs
         print(f"evaluating {len(binaries)} binaries x {len(sites)} "
               f"sites, {max(1, args.rounds)} round(s)...", file=sys.stderr)
         with obs.capture():
@@ -749,7 +781,10 @@ def _feam_serve(args) -> int:
     rules = _load_slo_rules(args.rules)
     if rules is None:
         return EXIT_FAILURE
-    sites, engine, binaries, bundles = _build_matrix_inputs(args)
+    inputs = _build_matrix_inputs(args)
+    if inputs is None:
+        return EXIT_FAILURE
+    sites, engine, binaries, bundles = inputs
     with obs.capture() as collector:
         try:
             server = TelemetryServer(collector, host=args.host,

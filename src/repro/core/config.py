@@ -65,6 +65,10 @@ class FeamConfig:
     breaker_probe_after: int = 2
     #: Resilience: per-cell simulated-seconds retry budget.
     cell_deadline_seconds: float = 120.0
+    #: Matrix worker-pool size; 0 picks ``min(32, 4 x cpu_count)``.
+    matrix_workers: int = 0
+    #: Lock-striped segments per engine cache layer.
+    cache_shards: int = 16
 
     def mpiexec_for(self, mpi_type: Optional[str]) -> str:
         """The launch command for an MPI type (Section V.C default)."""
@@ -82,7 +86,8 @@ class FeamConfig:
         ``feam_seconds_per_dependency``, ``stack_assessment_seconds``,
         ``library_check_seconds``, ``resolution_seconds_per_library``,
         ``hello_retest_seconds``), the resilience keys (``retry_*``,
-        ``breaker_*``, ``cell_deadline_seconds``), and
+        ``breaker_*``, ``cell_deadline_seconds``), the engine pool keys
+        (``matrix_workers``, ``cache_shards``), and
         ``mpiexec.<MPI type>`` overrides.
         """
         kwargs: dict = {}
@@ -102,7 +107,8 @@ class FeamConfig:
                 kwargs[key] = value
             elif key in ("hello_nprocs", "max_resolution_depth",
                          "retry_max_attempts", "breaker_failure_threshold",
-                         "breaker_probe_after"):
+                         "breaker_probe_after", "matrix_workers",
+                         "cache_shards"):
                 kwargs[key] = int(value)
             elif key in ("feam_base_seconds", "feam_seconds_per_dependency",
                          "stack_assessment_seconds", "library_check_seconds",
@@ -142,6 +148,8 @@ class FeamConfig:
             f"breaker_failure_threshold = {self.breaker_failure_threshold}",
             f"breaker_probe_after = {self.breaker_probe_after}",
             f"cell_deadline_seconds = {self.cell_deadline_seconds}",
+            f"matrix_workers = {self.matrix_workers}",
+            f"cache_shards = {self.cache_shards}",
         ]
         for mpi_type, command in sorted(self.mpiexec_overrides.items()):
             lines.append(f"mpiexec.{mpi_type} = {command}")

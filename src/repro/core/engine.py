@@ -14,12 +14,25 @@ that cheap:
   discovery per site, full evaluation per (site fingerprint, binary,
   bundle, staging tag) cell -- each with hit/miss counters
   (:class:`CacheStats`), surfaced per cell via
-  :class:`~repro.core.evaluation.CellCacheInfo` in the report.
-* **Parallel planning.**  :meth:`EvaluationEngine.evaluate_matrix` groups
-  cells by site and runs one worker per site in a
-  ``ThreadPoolExecutor`` -- sites are independent simulated machines, so
-  per-site serialisation keeps results deterministic while the matrix
-  spreads across cores.
+  :class:`~repro.core.evaluation.CellCacheInfo` in the report.  Every
+  layer is striped over N independently locked shards
+  (:class:`repro.core.sharding.ShardedMap`), so fleet-scale worker pools
+  do not serialise on one global lock.
+* **Content-group sharing.**  Generated fleet sites carry a
+  ``content_key`` (:func:`repro.sites.generator.content_key`) naming
+  their evaluation-equivalence class.  The engine discovers one member
+  of each class and adopts the re-hosted description for the rest, and
+  evaluation cells are cached per (content key, binary) rather than per
+  site -- the literal reading of "identical environments never
+  re-discovered" at fleet scale.  Hand-built sites have no content key
+  and keep the fully per-site path.
+* **Work-stealing planning.**  :meth:`EvaluationEngine.evaluate_matrix`
+  groups cells into per-site (per content-group, for fleets) work units
+  spread over a bounded worker pool (default ``min(32, 4 x cpu)``); an
+  idle worker steals whole units from the tail of the busiest queue.
+  Sites are independent simulated machines and each unit is processed by
+  one worker at a time, so per-site serialisation -- and with it
+  deterministic results -- survives the stealing.
 
 Invalidation: :meth:`EvaluationEngine.refresh_site` re-discovers a site
 and, when the environment fingerprint changed, drops that site's cached
@@ -38,9 +51,10 @@ re-evaluating only the missing cells.
 
 from __future__ import annotations
 
+import collections
 import dataclasses
+import os
 import posixpath
-import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Iterable, Optional, Sequence, Union
@@ -75,11 +89,17 @@ from repro.core.resilience import (
     provenance_from,
     with_retries,
 )
+from repro.core.sharding import HitMissCounter, ShardedMap
 from repro.sysmodel import faults
 from repro.util.hashing import content_digest, stable_digest
 
 #: Where the engine stages binaries it migrates to a site itself.
 _MIGRATION_ROOT = "/home/user/migrated"
+
+
+def default_matrix_workers() -> int:
+    """The bounded pool default: ``min(32, 4 x cpu_count)``."""
+    return min(32, 4 * (os.cpu_count() or 1))
 
 
 @dataclasses.dataclass
@@ -343,47 +363,62 @@ class EvaluationEngine:
         self.max_workers = max_workers
         self.resilience = resilience or ResiliencePolicy.from_config(
             self.config)
-        self.stats = CacheStats()
-        self._lock = threading.Lock()
-        self._tecs: dict[str, TargetEvaluationComponent] = {}
-        self._fingerprints: dict[str, str] = {}
-        self._breakers: dict[str, CircuitBreaker] = {}
+        shards = max(1, self.config.cache_shards)
+        self._tecs: ShardedMap = ShardedMap(shards)
+        self._fingerprints: ShardedMap = ShardedMap(shards)
+        self._breakers: ShardedMap = ShardedMap(shards)
         #: (image digest, described path) -> description
-        self._descriptions: dict[tuple[str, str], BinaryDescription] = {}
+        self._descriptions: ShardedMap = ShardedMap(shards)
         #: cell key -> report
-        self._reports: dict[tuple, TargetReport] = {}
+        self._reports: ShardedMap = ShardedMap(shards)
+        #: content key -> shared environment description (fleet sites)
+        self._content_environments: ShardedMap = ShardedMap(shards)
+        self._discovery_counter = HitMissCounter()
+
+    @property
+    def stats(self) -> CacheStats:
+        """Aggregated hit/miss counters over all cache shards."""
+        return CacheStats(
+            description_hits=self._descriptions.hits,
+            description_misses=self._descriptions.misses,
+            discovery_hits=self._discovery_counter.hits,
+            discovery_misses=self._discovery_counter.misses,
+            evaluation_hits=self._reports.hits,
+            evaluation_misses=self._reports.misses)
 
     # -- per-site services ---------------------------------------------------------
 
     def tec_for(self, site) -> TargetEvaluationComponent:
         """The (cached) TEC for a site."""
-        with self._lock:
-            tec = self._tecs.get(site.name)
-            if tec is None:
-                tec = TargetEvaluationComponent(
-                    site, self.config, registry=self.registry)
-                self._tecs[site.name] = tec
-            return tec
+        return self._tecs.get_or_create(
+            site.name,
+            lambda: TargetEvaluationComponent(
+                site, self.config, registry=self.registry))
 
     def breaker_for(self, site_name: str) -> CircuitBreaker:
         """The (cached) per-site circuit breaker."""
-        with self._lock:
-            breaker = self._breakers.get(site_name)
-            if breaker is None:
-                breaker = self.resilience.breaker_for(site_name)
-                self._breakers[site_name] = breaker
-            return breaker
+        return self._breakers.get_or_create(
+            site_name, lambda: self.resilience.breaker_for(site_name))
 
     def site_health(self) -> dict[str, str]:
         """Breaker state per site the engine has touched."""
-        with self._lock:
-            return {name: breaker.state.value
-                    for name, breaker in sorted(self._breakers.items())}
+        return {name: breaker.state.value
+                for name, breaker in sorted(self._breakers.items())}
 
     def _discover(self, site) -> tuple[object, bool, float]:
         """(environment, was it a cache hit, simulated retry seconds)."""
         tec = self.tec_for(site)
         hit = tec._environment is not None
+        content = getattr(site, "content_key", None)
+        if not hit and content is not None:
+            # Content-group sharing: another member of this site's
+            # evaluation-equivalence class already discovered; adopt its
+            # description, re-homed to this hostname.
+            shared = self._content_environments.peek(content)
+            if shared is not None:
+                tec.adopt_environment(dataclasses.replace(
+                    shared, hostname=site.name))
+                hit = True
         retry_seconds = 0.0
         with obs.span("engine.discover", site=site.name, hit=hit):
             started = time.perf_counter()
@@ -394,16 +429,17 @@ class EvaluationEngine:
                     self.resilience.retry, f"discover:{site.name}",
                     tec.environment, operation="discover", site=site.name,
                     deadline_seconds=self.resilience.cell_deadline_seconds)
+                if content is not None:
+                    self._content_environments.put(content, environment)
             obs.histogram("engine.discover.seconds").observe(
                 time.perf_counter() - started)
-        with self._lock:
-            if hit:
-                self.stats.discovery_hits += 1
-            else:
-                self.stats.discovery_misses += 1
-            if site.name not in self._fingerprints:
-                self._fingerprints[site.name] = \
-                    environment_fingerprint(environment)
+        if hit:
+            self._discovery_counter.hit(site.name)
+        else:
+            self._discovery_counter.miss(site.name)
+        if self._fingerprints.peek(site.name) is None:
+            self._fingerprints.put(
+                site.name, environment_fingerprint(environment))
         obs.counter("engine.cache.discovery."
                     + ("hits" if hit else "misses")).inc()
         return environment, hit, retry_seconds
@@ -411,32 +447,30 @@ class EvaluationEngine:
     def fingerprint_for(self, site) -> str:
         """The content-address of the site's (cached) environment."""
         self._discover(site)
-        return self._fingerprints[site.name]
+        return self._fingerprints.peek(site.name)
 
     def refresh_site(self, site) -> bool:
         """Re-discover a site; drop its caches if the fingerprint changed.
 
         Returns True when the environment changed.  Descriptions are
         content-addressed and survive; the site's evaluation cells do not.
+        A generated site that diverges from its content group loses its
+        ``content_key`` and falls back to the fully per-site path.
         """
-        old = self._fingerprints.get(site.name)
+        old = self._fingerprints.peek(site.name)
         tec = self.tec_for(site)
         tec.invalidate_environment()
-        with self._lock:
-            self.stats.discovery_misses += 1
+        self._discovery_counter.miss(site.name)
         new = environment_fingerprint(tec.environment())
-        with self._lock:
-            self._fingerprints[site.name] = new
-            changed = old is not None and old != new
-            if changed:
-                dropped = [key for key in self._reports
-                           if key[0] == site.name]
-                self._reports = {
-                    key: report for key, report in self._reports.items()
-                    if key[0] != site.name}
+        self._fingerprints.put(site.name, new)
+        changed = old is not None and old != new
         if changed:
+            dropped = self._reports.drop_if(
+                lambda key: key[0] == site.name)
+            if getattr(site, "content_key", None) is not None:
+                site.content_key = None
             obs.event("engine.site_invalidated", site=site.name,
-                      dropped_cells=len(dropped), old=old, new=new)
+                      dropped_cells=dropped, old=old, new=new)
             obs.counter("engine.invalidations").inc()
         return changed
 
@@ -456,10 +490,7 @@ class EvaluationEngine:
         if image is None:
             image = site.machine.fs.read(binary_path)
         key = (content_digest(image), binary_path)
-        with self._lock:
-            cached = self._descriptions.get(key)
-            if cached is not None:
-                self.stats.description_hits += 1
+        cached = self._descriptions.lookup(key)
         if cached is not None:
             obs.counter("engine.cache.description.hits").inc()
             return cached, True
@@ -475,9 +506,7 @@ class EvaluationEngine:
                 deadline_seconds=self.resilience.cell_deadline_seconds)
             obs.histogram("engine.describe.seconds").observe(
                 time.perf_counter() - started)
-        with self._lock:
-            self._descriptions[key] = description
-            self.stats.description_misses += 1
+        self._descriptions.store(key, description)
         obs.counter("engine.cache.description.misses").inc()
         return description, False
 
@@ -555,7 +584,7 @@ class EvaluationEngine:
         incompatible, so ``ready`` stays True while all four
         determinants read UNKNOWN (the grid renders ``unknown``).  The
         provenance rides along in ``report.failure``."""
-        tec = self._tecs.get(site.name)
+        tec = self._tecs.peek(site.name)
         environment = tec._environment if tec is not None else None
         if environment is None:
             environment = _unknown_environment(site.name)
@@ -587,7 +616,7 @@ class EvaluationEngine:
 
         _environment, discovery_hit, discover_retry_seconds = \
             self._discover(site)
-        fingerprint = self._fingerprints[site.name]
+        fingerprint = self._fingerprints.peek(site.name)
 
         description_hit = False
         if binary_path is not None:
@@ -601,17 +630,26 @@ class EvaluationEngine:
 
         tag = staging_tag or posixpath.basename(
             binary_path or bundle.description.path).replace("/", "-")
-        key = (site.name, fingerprint, digest,
-               bundle_digest(bundle) if bundle is not None else None, tag)
-        with self._lock:
-            cached = self._reports.get(key)
+        bdg = bundle_digest(bundle) if bundle is not None else None
+        content = getattr(site, "content_key", None)
+        # Content-group sites share one cell cache entry per binary; the
+        # "content::" prefix keeps the keyspace disjoint from site names.
+        if content is not None:
+            key = (f"content::{content}", digest, bdg, tag)
+        else:
+            key = (site.name, fingerprint, digest, bdg, tag)
+        cached = self._reports.lookup(key)
         if cached is not None:
-            with self._lock:
-                self.stats.evaluation_hits += 1
             obs.counter("engine.cache.evaluation.hits").inc()
-            return dataclasses.replace(cached, cache=CellCacheInfo(
-                description_hit=True, discovery_hit=True,
-                evaluation_hit=True))
+            environment = cached.environment
+            if environment.hostname != site.name:
+                environment = dataclasses.replace(
+                    environment, hostname=site.name)
+            return dataclasses.replace(
+                cached, environment=environment,
+                cache=CellCacheInfo(
+                    description_hit=True, discovery_hit=True,
+                    evaluation_hit=True))
 
         tec = self.tec_for(site)
 
@@ -634,9 +672,7 @@ class EvaluationEngine:
             description_hit=description_hit,
             discovery_hit=discovery_hit,
             evaluation_hit=False)
-        with self._lock:
-            self.stats.evaluation_misses += 1
-            self._reports[key] = report
+        self._reports.store(key, report)
         obs.counter("engine.cache.evaluation.misses").inc()
         return report
 
@@ -658,21 +694,49 @@ class EvaluationEngine:
         -- restores already-journalled cells without re-evaluating them.
         A worker that dies mid-site never aborts the matrix: its
         remaining cells degrade to UNKNOWN with provenance.
+
+        Scheduling: sites are grouped into work units -- one unit per
+        hand-built site, one unit per *content group* for generated
+        fleet sites (consecutive sites sharing a ``content_key``).  Units
+        are dealt round-robin over per-worker deques; a worker drains its
+        own queue from the head and, when empty, steals whole units from
+        the tail of the longest queue.  A unit is processed serially by
+        exactly one worker, so the cache "winner" of a content group is
+        always the group's first site and results stay deterministic.
         """
         specs = [self._coerce(b, bundles) for b in binaries]
-        workers = self.max_workers or min(8, max(1, len(sites)))
-        busy_seconds: list[float] = []  # one entry per site worker
+        workers = (self.max_workers or self.config.matrix_workers
+                   or default_matrix_workers())
+        busy_seconds: list[float] = []  # one entry per site processed
         resumed = 0
         if resume:
             resumed = sum(1 for spec in specs for site in sites
                           if (spec.binary_id, site.name) in resume)
 
+        # Work units: (position, site) pairs; content groups stay whole.
+        units: list[list] = []
+        unit_index: dict[str, list] = {}
+        for position, site in enumerate(sites):
+            content = getattr(site, "content_key", None)
+            if content is None:
+                units.append([(position, site)])
+            else:
+                unit = unit_index.get(content)
+                if unit is None:
+                    unit = []
+                    unit_index[content] = unit
+                    units.append(unit)
+                unit.append((position, site))
+        workers_effective = max(1, min(workers, len(units)))
+
         with obs.span("engine.matrix", binaries=len(specs),
-                      sites=len(sites), workers=workers) as matrix_span:
+                      sites=len(sites), workers=workers_effective,
+                      units=len(units)) as matrix_span:
             started = time.perf_counter()
 
             def run_site(site) -> list[MatrixCell]:
                 worker_started = time.perf_counter()
+                content = getattr(site, "content_key", None)
                 with obs.span("engine.site", parent=matrix_span,
                               site=site.name) as site_span:
                     cells: list[MatrixCell] = []
@@ -683,12 +747,16 @@ class EvaluationEngine:
                             if restored is not None:
                                 cells.append(cell_from_record(restored))
                                 continue
+                            # Content-group sites use a site-independent
+                            # staging tag so their cells share one cache
+                            # entry; hand-built sites keep per-site tags.
+                            tag = (spec.binary_id if content is not None
+                                   else f"{spec.binary_id}-{site.name}")
                             report = self.evaluate_cell(
                                 site, image=spec.image,
                                 binary_id=spec.binary_id,
                                 bundle=spec.bundle,
-                                staging_tag=(f"{spec.binary_id}-{site.name}"
-                                             .replace("/", "-")))
+                                staging_tag=tag.replace("/", "-"))
                             cell = MatrixCell(
                                 binary_id=spec.binary_id,
                                 site_name=site.name, report=report)
@@ -721,21 +789,67 @@ class EvaluationEngine:
                 obs.histogram("engine.site.worker_seconds").observe(busy)
                 return cells
 
-            if len(sites) <= 1 or workers <= 1:
-                per_site = [run_site(site) for site in sites]
+            per_site: list = [None] * len(sites)
+            steal_counts = [0] * workers_effective
+
+            def run_unit(unit) -> None:
+                for position, site in unit:
+                    per_site[position] = run_site(site)
+
+            if workers_effective <= 1 or len(units) <= 1:
+                for unit in units:
+                    run_unit(unit)
             else:
-                with ThreadPoolExecutor(max_workers=workers) as pool:
-                    per_site = list(pool.map(run_site, sites))
+                # Per-worker deques: owner pops from the head, thieves
+                # steal from the tail of the longest victim.  Single
+                # deque operations are atomic under the GIL, so no locks.
+                deques = [collections.deque()
+                          for _ in range(workers_effective)]
+                for index, unit in enumerate(units):
+                    deques[index % workers_effective].append(unit)
+                queue_gauge = obs.gauge("engine.matrix.queue_depth")
+
+                def next_unit(wid: int):
+                    try:
+                        return deques[wid].popleft(), False
+                    except IndexError:
+                        pass
+                    victims = sorted(
+                        (v for v in range(workers_effective) if v != wid),
+                        key=lambda v: len(deques[v]), reverse=True)
+                    for victim in victims:
+                        try:
+                            return deques[victim].pop(), True
+                        except IndexError:
+                            continue
+                    return None, False
+
+                def run_worker(wid: int) -> None:
+                    while True:
+                        unit, stolen = next_unit(wid)
+                        if unit is None:
+                            return
+                        if stolen:
+                            steal_counts[wid] += 1
+                            obs.counter("engine.matrix.steals").inc()
+                        queue_gauge.set(sum(len(d) for d in deques))
+                        run_unit(unit)
+
+                with ThreadPoolExecutor(
+                        max_workers=workers_effective) as pool:
+                    list(pool.map(run_worker, range(workers_effective)))
             elapsed = time.perf_counter() - started
             # Worker utilization: busy time over the pool's capacity for
             # the matrix's elapsed window (1.0 = every worker always busy).
-            capacity = elapsed * min(workers, max(1, len(sites)))
+            capacity = elapsed * workers_effective
             utilization = (sum(busy_seconds) / capacity) if capacity else 0.0
             obs.gauge("engine.matrix.worker_utilization").set(
                 min(1.0, utilization))
+            obs.gauge("engine.matrix.steals").set(sum(steal_counts))
             matrix_span.set_attrs(
                 utilization=round(utilization, 3),
-                cells=len(specs) * len(sites))
+                cells=len(specs) * len(sites),
+                steals=sum(steal_counts))
         # Deterministic assembly: binary-major, site order as given.
         cells = [per_site[s][b]
                  for b in range(len(specs)) for s in range(len(sites))]
@@ -772,6 +886,15 @@ class EvaluationEngine:
                           + stats.evaluation_misses)
         if lookups:
             obs.gauge("engine.cache.hit_rate").set(hits / lookups)
+        for layer, cache in (("description", self._descriptions),
+                             ("evaluation", self._reports)):
+            for index, (shard_hits, shard_misses, _entries) in enumerate(
+                    cache.shard_stats()):
+                shard_lookups = shard_hits + shard_misses
+                if shard_lookups:
+                    obs.gauge(
+                        f"engine.cache.{layer}.shard.{index}.hit_rate"
+                    ).set(shard_hits / shard_lookups)
 
     @staticmethod
     def _coerce(binary, bundles: Optional[dict]) -> EngineBinary:

@@ -157,6 +157,17 @@ class TargetEvaluationComponent:
         """Drop the cached discovery (the site's environment changed)."""
         self._environment = None
 
+    def adopt_environment(self,
+                          environment: EnvironmentDescription) -> None:
+        """Seed the discovery cache with an externally obtained description.
+
+        The evaluation engine uses this to share one discovery across
+        evaluation-equivalent fleet sites (equal ``content_key``); the
+        adopted description must be re-hosted to this site's hostname by
+        the caller.
+        """
+        self._environment = environment
+
     # -- hello-world stack tests ------------------------------------------------------
 
     def _hello_dir(self) -> str:

@@ -1,0 +1,173 @@
+"""Lock-striped cache segments for the evaluation engine.
+
+The engine's cache layers used to live in plain dicts behind one global
+``threading.Lock``; at fleet scale (a thousand sites, dozens of worker
+threads) every cell evaluation serialised on that lock.  A
+:class:`ShardedMap` splits one logical mapping into N independently
+locked segments, selected by hashing the key tuple, so concurrent
+lookups of different keys proceed in parallel and a matrix worker only
+ever contends with workers touching the same shard.
+
+Hit/miss accounting lives with the shards: :meth:`ShardedMap.lookup`
+counts a hit when the key is present, :meth:`ShardedMap.store` counts a
+miss.  That split mirrors the engine's historical semantics -- a miss is
+only recorded once the value was actually computed and stored, so an
+evaluation that fails (and degrades the cell) never inflates the miss
+counters.  Per-shard tallies are kept so the observability layer can
+publish shard-level hit rates and spot skew.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Optional, TypeVar
+
+V = TypeVar("V")
+
+DEFAULT_SHARDS = 16
+
+
+class _Shard:
+    """One segment: a dict, its lock, and its hit/miss tallies."""
+
+    __slots__ = ("lock", "entries", "hits", "misses")
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.entries: dict = {}
+        self.hits = 0
+        self.misses = 0
+
+
+class ShardedMap:
+    """A thread-safe mapping striped over N independently locked shards.
+
+    Keys are the engine's flat tuples of digests/strings; shard selection
+    uses the built-in tuple hash (per-process, which is all striping
+    needs -- cross-process stability is the *keys'* job, and those are
+    SHA-256 digests from :mod:`repro.util.hashing`).
+    """
+
+    def __init__(self, shards: int = DEFAULT_SHARDS) -> None:
+        self.shard_count = max(1, int(shards))
+        self._shards = tuple(_Shard() for _ in range(self.shard_count))
+
+    def _shard_for(self, key) -> _Shard:
+        return self._shards[hash(key) % self.shard_count]
+
+    # -- counted cache protocol ----------------------------------------------
+
+    def lookup(self, key) -> Optional[V]:
+        """The cached value, counting a hit when present (None when not)."""
+        shard = self._shard_for(key)
+        with shard.lock:
+            value = shard.entries.get(key)
+            if value is not None:
+                shard.hits += 1
+            return value
+
+    def store(self, key, value: V) -> None:
+        """Insert a freshly computed value, counting a miss."""
+        shard = self._shard_for(key)
+        with shard.lock:
+            shard.entries[key] = value
+            shard.misses += 1
+
+    # -- uncounted mapping protocol ------------------------------------------
+
+    def peek(self, key) -> Optional[V]:
+        """The cached value without touching the tallies."""
+        shard = self._shard_for(key)
+        with shard.lock:
+            return shard.entries.get(key)
+
+    def put(self, key, value: V) -> None:
+        """Insert without touching the tallies."""
+        shard = self._shard_for(key)
+        with shard.lock:
+            shard.entries[key] = value
+
+    def get_or_create(self, key, factory: Callable[[], V]) -> V:
+        """The cached value, creating (under the shard lock) when absent."""
+        shard = self._shard_for(key)
+        with shard.lock:
+            value = shard.entries.get(key)
+            if value is None:
+                value = factory()
+                shard.entries[key] = value
+            return value
+
+    # -- maintenance -----------------------------------------------------------
+
+    def drop_if(self, predicate: Callable[[object], bool]) -> int:
+        """Remove entries whose *key* matches; returns how many dropped."""
+        dropped = 0
+        for shard in self._shards:
+            with shard.lock:
+                doomed = [key for key in shard.entries if predicate(key)]
+                for key in doomed:
+                    del shard.entries[key]
+                dropped += len(doomed)
+        return dropped
+
+    def items(self) -> list:
+        """A point-in-time snapshot of (key, value) pairs."""
+        snapshot = []
+        for shard in self._shards:
+            with shard.lock:
+                snapshot.extend(shard.entries.items())
+        return snapshot
+
+    def __len__(self) -> int:
+        return sum(len(shard.entries) for shard in self._shards)
+
+    # -- accounting -------------------------------------------------------------
+
+    @property
+    def hits(self) -> int:
+        return sum(shard.hits for shard in self._shards)
+
+    @property
+    def misses(self) -> int:
+        return sum(shard.misses for shard in self._shards)
+
+    def shard_stats(self) -> list[tuple[int, int, int]]:
+        """Per-shard (hits, misses, entries) for skew diagnostics."""
+        return [(shard.hits, shard.misses, len(shard.entries))
+                for shard in self._shards]
+
+
+class HitMissCounter:
+    """A striped hit/miss tally for caches that are not mappings.
+
+    Discovery is cached *inside* each site's TEC (the environment
+    attribute), so the engine only needs the counters; striping them over
+    a few locks keeps fleet workers from serialising on one.
+    """
+
+    def __init__(self, stripes: int = 8) -> None:
+        stripes = max(1, int(stripes))
+        self._locks = tuple(threading.Lock() for _ in range(stripes))
+        self._hits = [0] * stripes
+        self._misses = [0] * stripes
+
+    def _stripe(self, key) -> int:
+        return hash(key) % len(self._locks)
+
+    def hit(self, key) -> None:
+        i = self._stripe(key)
+        with self._locks[i]:
+            self._hits[i] += 1
+
+    def miss(self, key) -> None:
+        i = self._stripe(key)
+        with self._locks[i]:
+            self._misses[i] += 1
+
+    @property
+    def hits(self) -> int:
+        return sum(self._hits)
+
+    @property
+    def misses(self) -> int:
+        return sum(self._misses)

@@ -140,6 +140,57 @@ class Site:
             self.compute_machine, spec.name, seed,
             misconfigured_stacks=frozenset(spec.misconfigured))
 
+    #: SiteSpec fields that do not influence ``_install`` output and may
+    #: therefore differ between a clone and its template.
+    _CLONE_SAFE_OVERRIDES = frozenset((
+        "display_name", "organization", "site_type", "cores",
+        "scheduler_flavor", "misconfigured", "missing_tools"))
+
+    @classmethod
+    def cloned(cls, template: "Site", name: str, seed: int,
+               **spec_overrides) -> "Site":
+        """A new site copied from a fully-built *template*.
+
+        Skips ``_install`` entirely: the template's filesystem tree is
+        cloned (contents shared), its install records are reused, and
+        only the per-site identity -- hostname, scheduler, execution
+        simulator -- is rebuilt around *name* and *seed*.  This is what
+        makes standing up thousands of same-configuration fleet sites
+        tractable; building each from its spec costs ~100x more.
+
+        *spec_overrides* may adjust fields that do not affect the
+        installed filesystem (scheduler flavor, misconfigured stacks,
+        missing tools, cosmetics); anything else must go through a full
+        build.
+        """
+        unsafe = set(spec_overrides) - cls._CLONE_SAFE_OVERRIDES
+        if unsafe:
+            raise ValueError(
+                f"spec fields {sorted(unsafe)} affect installation and "
+                f"cannot be overridden on a clone")
+        site = cls.__new__(cls)
+        site.spec = dataclasses.replace(template.spec, name=name,
+                                        **spec_overrides)
+        site.seed = seed
+        site.machine = template.machine.clone(name)
+        site.libc = template.libc
+        site.compiler_installs = dict(template.compiler_installs)
+        site.stacks = list(template.stacks)
+        site.scheduler = Scheduler(site.spec.scheduler_flavor, name, seed)
+        site.modules = (EnvironmentModules(site.machine.fs)
+                        if template.modules is not None else None)
+        site.softenv = (SoftEnv(site.machine.fs)
+                        if template.softenv is not None else None)
+        if template.compute_machine is template.machine:
+            site.compute_machine = site.machine
+        else:
+            site.compute_machine = template.compute_machine.clone(
+                name + "-compute")
+        site.simulator = ExecutionSimulator(
+            site.compute_machine, name, seed,
+            misconfigured_stacks=frozenset(site.spec.misconfigured))
+        return site
+
     def _build_compute_machine(self) -> Machine:
         if not self.spec.compute_node_missing:
             return self.machine

@@ -338,3 +338,32 @@ class VirtualFilesystem:
         parent.entries[name] = FileNode(
             content=node.content, provider=node.provider,
             size=node.size, mode=node.mode)
+
+    # -- cloning -----------------------------------------------------------------
+
+    def clone(self) -> "VirtualFilesystem":
+        """An independent copy of the whole tree.
+
+        Every directory, file and symlink node is a fresh object, so
+        mutations on either side never show through; file *contents*
+        (immutable bytes or deterministic lazy providers) are shared,
+        which is what makes cloning a fully-installed site filesystem
+        cheap -- hundreds of multi-megabyte ELF images cost one node
+        object each, not a copy of their bytes.  The fault hook is not
+        carried over: a clone starts unperturbed.
+        """
+        copy = VirtualFilesystem()
+        copy._root = _clone_node(self._root)
+        return copy
+
+
+def _clone_node(node: object) -> object:
+    if isinstance(node, DirNode):
+        return DirNode(entries={name: _clone_node(child)
+                                for name, child in node.entries.items()},
+                       mode=node.mode)
+    if isinstance(node, FileNode):
+        return FileNode(content=node.content, provider=node.provider,
+                        size=node.size, mode=node.mode)
+    assert isinstance(node, SymlinkNode)
+    return SymlinkNode(target=node.target)

@@ -98,6 +98,21 @@ class Machine:
         self._elf_cache[real] = (size, elf)
         return elf
 
+    # -- cloning ----------------------------------------------------------------
+
+    def clone(self, hostname: str) -> "Machine":
+        """An independent machine with the same installed state.
+
+        The filesystem tree is copied node-by-node (contents shared, see
+        :meth:`VirtualFilesystem.clone`); the ELF parse cache is carried
+        over since cache entries are keyed by (path, size) and every
+        image in the simulation is immutable once written.
+        """
+        copy = Machine(hostname, self.arch, self.distro,
+                       fs=self.fs.clone(), env=self.env.copy())
+        copy._elf_cache = dict(self._elf_cache)
+        return copy
+
     # -- identity ---------------------------------------------------------------
 
     @property

@@ -160,8 +160,9 @@ class TestCheckRegression:
     BASE = {
         "seed": 20130101, "binaries": 4, "sites": 5, "cells": 20,
         "cold_seconds": 0.6, "warm_seconds": 0.003,
+        "reference_seconds": 0.12,
         "traced_seconds": 0.13, "warm_speedup": 186.8,
-        "traced_overhead": -0.78, "trace_spans": 195,
+        "traced_overhead": 0.08, "trace_spans": 195,
         "cache": {"evaluation_hits": 60, "evaluation_misses": 20},
     }
 
@@ -296,4 +297,8 @@ class TestBenchHistory:
         assert lines, "BENCH_history.jsonl must not be empty"
         for line in lines:
             entry = json.loads(line)
-            assert "ts" in entry and "warm_seconds" in entry
+            assert "ts" in entry
+            if entry.get("kind") == "fleet":
+                assert "cells_per_second" in entry
+            else:
+                assert "warm_seconds" in entry

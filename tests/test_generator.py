@@ -1,0 +1,189 @@
+"""The parametric site generator: spec parsing, determinism, cloning.
+
+The fleet generator must be a pure function of ``(spec, index)``: the
+same ``fleet:...`` string yields byte-identical site fingerprints in
+any process (:func:`repro.util.hashing.stable_uniform` is seeded
+hashing, never Python's per-process ``hash``).  Building shares one
+template :class:`~repro.sites.site.Site` per install-content class and
+clones the rest, so clones must be fully isolated from their template
+at the filesystem level.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.sites.generator import (
+    SiteGenerator,
+    content_key,
+    describe_fleet,
+    parse_fleet_spec,
+    resolve_sites,
+    spec_fingerprint,
+    template_key,
+)
+
+_SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+
+class TestParseFleetSpec:
+    def test_full_spec(self):
+        spec = parse_fleet_spec("fleet:n=1000,seed=7,prefix=lab")
+        assert spec.count == 1000
+        assert spec.seed == 7
+        assert spec.name_prefix == "lab"
+
+    def test_defaults(self):
+        spec = parse_fleet_spec("fleet:n=10")
+        assert spec.count == 10
+        assert spec.name_prefix == "gen"
+
+    def test_count_defaults_to_100(self):
+        assert parse_fleet_spec("fleet:seed=7").count == 100
+        assert parse_fleet_spec("fleet:").count == 100
+
+    def test_render_round_trips(self):
+        spec = parse_fleet_spec("fleet:n=42,seed=9")
+        assert parse_fleet_spec(spec.render()) == spec
+
+    @pytest.mark.parametrize("text", [
+        "fleet:n=0", "fleet:n=10001", "fleet:n=5,bad=1",
+        "cluster:n=5", "fleet:n=x", "fleet:n=5,prefix=a/b",
+    ])
+    def test_rejects_bad_specs(self, text):
+        with pytest.raises(ValueError):
+            parse_fleet_spec(text)
+
+
+class TestDeterminism:
+    """Same spec -> byte-identical fingerprints, across processes."""
+
+    SPEC = "fleet:n=200,seed=11"
+    SNIPPET = (
+        "from repro.sites.generator import SiteGenerator, "
+        "parse_fleet_spec\n"
+        "g = SiteGenerator(parse_fleet_spec({spec!r}))\n"
+        "print('\\n'.join(g.fingerprints()))\n"
+    )
+
+    def _subprocess_fingerprints(self) -> str:
+        # -R randomises the string-hash seed: if anything in the
+        # pipeline leaked through builtins ``hash``, the two child
+        # processes would disagree.
+        result = subprocess.run(
+            [sys.executable, "-R", "-c",
+             self.SNIPPET.format(spec=self.SPEC)],
+            capture_output=True, text=True, check=True,
+            env={"PYTHONPATH": _SRC, "PATH": "/usr/bin:/bin"})
+        return result.stdout
+
+    def test_fingerprints_identical_across_processes(self):
+        first = self._subprocess_fingerprints()
+        second = self._subprocess_fingerprints()
+        assert first == second
+        # ... and they match this process, too.
+        ours = SiteGenerator(parse_fleet_spec(self.SPEC)).fingerprints()
+        assert first.strip().splitlines() == ours
+
+    def test_different_seed_different_fleet(self):
+        a = SiteGenerator(parse_fleet_spec("fleet:n=50,seed=1"))
+        b = SiteGenerator(parse_fleet_spec("fleet:n=50,seed=2"))
+        assert a.fingerprints() != b.fingerprints()
+
+    def test_prefix_changes_fingerprint_but_not_content(self):
+        a = SiteGenerator(parse_fleet_spec("fleet:n=5,seed=3"))
+        b = SiteGenerator(
+            parse_fleet_spec("fleet:n=5,seed=3,prefix=other"))
+        for spec_a, spec_b in zip(a.site_specs(), b.site_specs()):
+            assert spec_fingerprint(spec_a) != spec_fingerprint(spec_b)
+            assert content_key(spec_a) == content_key(spec_b)
+
+
+class TestGeneratedSpecs:
+    def test_names_are_sequential(self):
+        generator = SiteGenerator(parse_fleet_spec("fleet:n=3,seed=1"))
+        names = [generator.site_spec(i).name for i in range(3)]
+        assert names == ["gen-0000", "gen-0001", "gen-0002"]
+
+    def test_spec_space_is_diverse(self):
+        generator = SiteGenerator(parse_fleet_spec("fleet:n=200,seed=5"))
+        specs = generator.site_specs()
+        assert len({s.distro for s in specs}) > 1
+        assert len({s.scheduler_flavor for s in specs}) > 1
+        assert len({template_key(s) for s in specs}) > 5
+        assert any(s.misconfigured for s in specs)
+        assert any(s.missing_tools for s in specs)
+
+    def test_content_key_refines_template_key(self):
+        # Same template may split into several content classes
+        # (scheduler, misconfig); never the other way around.
+        generator = SiteGenerator(parse_fleet_spec("fleet:n=200,seed=5"))
+        content_to_template = {}
+        for spec in generator.site_specs():
+            ckey, tkey = content_key(spec), template_key(spec)
+            assert content_to_template.setdefault(ckey, tkey) == tkey
+
+
+class TestBuiltFleet:
+    @pytest.fixture(scope="class")
+    def fleet(self):
+        generator = SiteGenerator(parse_fleet_spec("fleet:n=12,seed=4"))
+        return generator, generator.build()
+
+    def test_builds_fewer_templates_than_sites(self, fleet):
+        generator, sites = fleet
+        assert len(sites) == 12
+        assert generator.template_count < len(sites)
+
+    def test_sites_carry_their_content_key(self, fleet):
+        generator, sites = fleet
+        for spec, site in zip(generator.site_specs(), sites):
+            assert site.content_key == content_key(spec)
+            assert site.name == spec.name
+
+    def test_clones_are_isolated(self, fleet):
+        _, sites = fleet
+        grouped = {}
+        for site in sites:
+            grouped.setdefault(site.content_key, []).append(site)
+        group = next(g for g in grouped.values() if len(g) > 1)
+        first, second = group[0], group[1]
+        assert first.machine.fs is not second.machine.fs
+        first.machine.fs.write("/tmp/only-here", b"x")
+        assert not second.machine.fs.is_file("/tmp/only-here")
+
+    def test_clone_runs_its_own_toolchain(self, fleet):
+        # A cloned site must be a working site: modules loadable,
+        # binaries compilable, scheduler answering.
+        from repro.toolchain.compilers import Language
+
+        _, sites = fleet
+        clone = sites[-1]
+        stack = clone.stacks[0]
+        linked = clone.compile_mpi_program("probe", Language.C, stack)
+        assert linked.image
+
+
+class TestResolveSites:
+    def test_paper_spec(self):
+        sites = resolve_sites("paper")
+        assert [s.name for s in sites] == [
+            "ranger", "forge", "blacklight", "india", "fir"]
+        assert all(getattr(s, "content_key", None) is None
+                   for s in sites)
+
+    def test_fleet_spec(self):
+        sites = resolve_sites("fleet:n=3,seed=2")
+        assert len(sites) == 3
+        assert all(s.content_key is not None for s in sites)
+
+    def test_bad_spec_raises(self):
+        with pytest.raises(ValueError):
+            resolve_sites("nonsense")
+
+    def test_describe_fleet(self):
+        sites = resolve_sites("fleet:n=3,seed=2")
+        text = describe_fleet(sites)
+        assert "3 site(s)" in text
