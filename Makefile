@@ -2,8 +2,8 @@
 
 PYTHON ?= python3
 
-.PHONY: install test ci bench bench-matrix perf-gate fleet-gate chaos \
-	serve slo trace tables report examples clean
+.PHONY: install test ci bench bench-matrix perf-gate fleet-gate \
+	telemetry-gate chaos serve slo trace tables report examples clean
 
 # Wall-time budget (seconds) for the 1,000-site fleet evaluation.
 FLEET_BUDGET ?= 60
@@ -31,6 +31,10 @@ fleet-gate:
 	PYTHONPATH=src $(PYTHON) benchmarks/emit_bench.py \
 		--fleet fleet:n=1000,seed=7 --budget-seconds $(FLEET_BUDGET) \
 		BENCH_fleet.json benchmarks/BENCH_history.jsonl
+
+telemetry-gate:
+	PYTHONPATH=src $(PYTHON) benchmarks/telemetry_gate.py \
+		--fleet fleet:n=1000,seed=7 --binaries 4
 
 chaos:
 	PYTHONPATH=src $(PYTHON) -m repro feam chaos \

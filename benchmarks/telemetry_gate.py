@@ -1,0 +1,228 @@
+"""The CI telemetry gate: prove the wide-event/sampling contract.
+
+Runs a generated fleet matrix twice -- once bare (the reference), once
+under the full telemetry overlay (observability collector, wide-event
+sink, tail-based span sampler) -- and asserts the overlay's contract:
+
+1. **completeness** -- exactly one wide event per matrix cell (the
+   evaluated, journal-restored and worker-failure paths all emit);
+2. **sampling budget** -- span trees survive only for the cells the
+   policy elects; the kept count must equal a from-scratch replay of
+   the deterministic policy over the emitted events AND stay within
+   ``--span-budget``, and the counters must add up
+   (``kept + dropped == cells``);
+3. **overhead** -- the telemetry run's wall time stays within
+   ``--overhead-tolerance`` of the bare reference;
+4. **consistency** -- a ``feam query``-equivalent aggregation over the
+   wide events reproduces the matrix's own per-outcome cell counts.
+
+Artifacts: the raw ``wide_events.jsonl`` stream and a
+``telemetry_gate.json`` payload embedding the query summary, both
+uploaded by the ``telemetry-gate`` CI job.
+
+Exit codes mirror ``emit_bench.py``: 0 ok, 1 contract violation,
+3 overhead budget blown.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+
+from repro import obs
+from repro.core.engine import EngineBinary, EvaluationEngine
+from repro.obs.sampling import SamplingPolicy
+from repro.obs.store import Aggregation, WhereClause, run_query
+from repro.obs.wide import WideEventSink, read_jsonl
+from repro.sites.generator import resolve_sites
+from repro.toolchain.compilers import Language
+
+SEED = 20130101
+
+EXIT_OK = 0
+EXIT_FAILURE = 1      # telemetry contract violated
+EXIT_REGRESSION = 3   # overhead tolerance blown
+
+#: The sampler's latency-SLO clause reads the wall clock; the gate pins
+#: it unreachably high so the kept set stays fully deterministic.
+_NO_SLO = 1e9
+
+
+def _compile_binaries(sites, count: int):
+    binaries = []
+    pool = sites[:max(1, min(len(sites), count))]
+    for index in range(count):
+        site = pool[index % len(pool)]
+        stack = site.stacks[index % len(site.stacks)]
+        name = f"gate-{site.name}-{stack.spec.slug}-{index}"
+        linked = site.compile_mpi_program(name, Language.FORTRAN, stack)
+        binaries.append(EngineBinary(binary_id=name, image=linked.image))
+    return binaries
+
+
+def run_gate(spec: str, binaries_count: int, head_n: int,
+             wide_out: str, report_out: str,
+             span_budget: int | None,
+             overhead_tolerance: float) -> int:
+    sites = resolve_sites(spec, default_seed=SEED)
+    binaries = _compile_binaries(sites, binaries_count)
+    failures: list[str] = []
+
+    # Untimed warmup: the first matrix of the process pays one-time
+    # import/JIT-warmup costs that would otherwise inflate whichever
+    # timed side ran first (emit_bench.py learned this the hard way).
+    EvaluationEngine().evaluate_matrix(binaries, sites)
+
+    # Bare reference: fresh engine, no collector, no sink.
+    start = time.perf_counter()
+    reference_result = EvaluationEngine().evaluate_matrix(binaries, sites)
+    reference = time.perf_counter() - start
+
+    # Telemetry run: fresh engine under the full overlay.  The sink
+    # appends (journal semantics); the gate wants this run only.
+    if os.path.exists(wide_out):
+        os.unlink(wide_out)
+    policy = SamplingPolicy(seed=SEED, head_n=head_n,
+                            latency_slo_seconds=_NO_SLO)
+    sink = WideEventSink(path=wide_out)
+    with obs.capture() as collector:
+        start = time.perf_counter()
+        result = EvaluationEngine().evaluate_matrix(
+            binaries, sites, wide_sink=sink, sampler=policy)
+        telemetry = time.perf_counter() - start
+    sink.close()
+
+    cells = len(result.cells)
+    events = read_jsonl(wide_out)
+
+    # 1. Completeness: one wide event per cell, on disk and in counters.
+    counters = collector.metrics.to_dict()["counters"]
+    if len(events) != cells:
+        failures.append(f"completeness: {len(events)} wide event(s) "
+                        f"for {cells} cell(s)")
+    if counters.get("obs.wide.emitted") != cells:
+        failures.append(f"completeness: obs.wide.emitted = "
+                        f"{counters.get('obs.wide.emitted')} != {cells}")
+
+    # 2. Sampling budget: counters add up, the kept set matches a
+    # deterministic replay of the policy, and spans survive only for
+    # kept cells.
+    kept = counters.get("obs.sampling.kept", 0)
+    dropped = counters.get("obs.sampling.dropped", 0)
+    if kept + dropped != cells:
+        failures.append(f"sampling: kept {kept} + dropped {dropped} "
+                        f"!= {cells} cells")
+    expected_kept = sum(
+        1 for event in events
+        if policy.decide(event["site"], event["binary"],
+                         event["outcome"], event["faulted"]).keep)
+    if kept != expected_kept:
+        failures.append(f"sampling: kept {kept} != policy replay "
+                        f"{expected_kept}")
+    cell_spans = sum(1 for span in collector.spans
+                     if span.name == "engine.cell")
+    if cell_spans != kept:
+        failures.append(f"sampling: {cell_spans} engine.cell span(s) "
+                        f"survived for {kept} kept cell(s)")
+    budget = span_budget if span_budget is not None \
+        else max(1, cells // 5)
+    if kept > budget:
+        failures.append(f"sampling: kept {kept} > span budget {budget}")
+
+    # 4. Consistency: the store's aggregation over the wide events must
+    # reproduce the matrix's own per-outcome counts (the renderer and
+    # the query path must never disagree about how many cells degraded).
+    by_outcome = run_query(events, by="outcome",
+                           aggs=[Aggregation(fn="count")], top=10)
+    queried = {group: size for group, _values, size in by_outcome.rows}
+    for word in ("ready", "unknown", "no"):
+        matrix_count = sum(1 for cell in result.cells
+                           if cell.outcome_word == word)
+        if queried.get(word, 0) != matrix_count:
+            failures.append(f"consistency: query counts "
+                            f"{queried.get(word, 0)} {word!r} cell(s), "
+                            f"matrix has {matrix_count}")
+    unknown_by_site = run_query(
+        events, where=[WhereClause("outcome", "=", "unknown")],
+        by="site", aggs=[Aggregation(fn="count")], top=20)
+
+    # 3. Overhead (checked last so contract failures surface first).
+    overhead = (telemetry / reference - 1.0) if reference > 0 else 0.0
+    blown = overhead > overhead_tolerance
+
+    payload = {
+        "spec": spec,
+        "seed": SEED,
+        "sites": len(sites),
+        "binaries": len(binaries),
+        "cells": cells,
+        "wide_events": len(events),
+        "sampling": {
+            "head_n": head_n,
+            "kept": kept,
+            "dropped": dropped,
+            "expected_kept": expected_kept,
+            "span_budget": budget,
+            "surviving_cell_spans": cell_spans,
+        },
+        "reference_seconds": round(reference, 4),
+        "telemetry_seconds": round(telemetry, 4),
+        "overhead": round(overhead, 4),
+        "overhead_tolerance": overhead_tolerance,
+        "reference_cells": len(reference_result.cells),
+        "query_summary": {
+            "by_outcome": by_outcome.to_dict(),
+            "unknown_by_site": unknown_by_site.to_dict(),
+        },
+        "failures": failures,
+    }
+    with open(report_out, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    print(f"telemetry gate: {cells} cells, {len(events)} wide events, "
+          f"kept {kept}/{cells} span tree(s) (budget {budget}), "
+          f"overhead {overhead:+.1%} (tolerance "
+          f"{overhead_tolerance:.0%})  -> {report_out}")
+    for failure in failures:
+        print(f"TELEMETRY GATE: {failure}")
+    if failures:
+        return EXIT_FAILURE
+    if blown:
+        print(f"TELEMETRY GATE: overhead {overhead:+.1%} > "
+              f"tolerance {overhead_tolerance:.0%} "
+              f"(reference {reference:.2f}s, telemetry {telemetry:.2f}s)")
+        return EXIT_REGRESSION
+    return EXIT_OK
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Gate the wide-event/sampling telemetry contract.")
+    parser.add_argument("--fleet", default="fleet:n=250,seed=7",
+                        metavar="SPEC",
+                        help="fleet spec (default: fleet:n=250,seed=7)")
+    parser.add_argument("--binaries", type=int, default=4,
+                        help="test binaries to compile (default: 4)")
+    parser.add_argument("--head-n", type=int, default=25,
+                        help="keep a seeded 1-in-N head sample "
+                             "(default: 25)")
+    parser.add_argument("--wide-out", default="wide_events.jsonl",
+                        help="wide-event artifact path")
+    parser.add_argument("--report-out", default="telemetry_gate.json",
+                        help="gate report artifact path")
+    parser.add_argument("--span-budget", type=int, default=None,
+                        help="max kept span trees (default: cells / 5)")
+    parser.add_argument("--overhead-tolerance", type=float, default=0.5,
+                        help="max telemetry overhead vs the bare "
+                             "reference run (default: 0.5 = +50%%)")
+    args = parser.parse_args(argv)
+    return run_gate(args.fleet, args.binaries, args.head_n,
+                    args.wide_out, args.report_out, args.span_budget,
+                    args.overhead_tolerance)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -44,8 +44,16 @@ artifacts:
   batch run (or a recorded trace's metrics snapshot) and exit non-zero
   on violation;
 * ``feam serve`` -- run a batch evaluation while exposing ``/metrics``
-  (Prometheus text format), ``/healthz``, ``/trace`` and ``/slo`` over
-  HTTP.
+  (Prometheus text format), ``/healthz``, ``/trace``, ``/slo`` and
+  ``/snapshot`` over HTTP;
+* ``feam watch`` -- live fleet dashboard: attach to a running ``feam
+  serve`` (``--attach URL``) or drive a matrix run, re-rendering
+  cells/sec, queue depth, per-shard cache hit rates, breaker states
+  and a rolling latency histogram in place (plain one-line summaries
+  when stdout is not a TTY);
+* ``feam query`` -- filter/aggregate a wide-event JSONL file written
+  by ``feam matrix --wide-out`` (``--where outcome=unknown --by site
+  --top 20``, percentile aggregations like ``--agg p95:wall_seconds``).
 
 ``feam`` subcommands use distinct exit codes so CI can tell failure
 modes apart: 1 = operational error (bad input, unknown site), 2 = SLO
@@ -153,6 +161,7 @@ def feam_main(argv: Optional[list[str]] = None) -> int:
         help="restore completed cells from this journal and "
              "evaluate only the rest; new cells are appended back "
              "to it unless --journal names another file")
+    _add_telemetry_args(matrix)
 
     chaos = sub.add_parser(
         "chaos",
@@ -194,6 +203,7 @@ def feam_main(argv: Optional[list[str]] = None) -> int:
     chaos.add_argument(
         "--summary-out", metavar="FILE.json", default=None,
         help="also write the fault/retry/breaker summary as JSON")
+    _add_telemetry_args(chaos)
 
     trace = sub.add_parser(
         "trace",
@@ -235,6 +245,14 @@ def feam_main(argv: Optional[list[str]] = None) -> int:
     stats.add_argument(
         "--workers", type=int, default=None,
         help="thread-pool size for the per-site planner")
+    stats.add_argument(
+        "--sites", default="paper", metavar="SPEC",
+        help="site set: 'paper' or a generator spec like "
+             "'fleet:n=100,seed=7' (default: paper)")
+    stats.add_argument(
+        "--top", type=int, default=20,
+        help="rows per metrics section; the rest folds into an "
+             "'... and K more' footer (default: 20)")
 
     top = sub.add_parser(
         "top",
@@ -248,8 +266,9 @@ def feam_main(argv: Optional[list[str]] = None) -> int:
                  "count"),
         help="flame table sort key (default: wall_self)")
     top.add_argument(
-        "--limit", type=int, default=30,
-        help="rows to print (default: 30)")
+        "--limit", "--top", dest="limit", type=int, default=20,
+        help="rows to print; the rest folds into an '... and K more' "
+             "footer (default: 20)")
     top.add_argument(
         "--critical-path", action="store_true",
         help="also print the heaviest root-to-leaf chain")
@@ -335,6 +354,63 @@ def feam_main(argv: Optional[list[str]] = None) -> int:
     serve.add_argument("--workers", type=int, default=None,
                        help="thread-pool size")
 
+    watch = sub.add_parser(
+        "watch",
+        help="live fleet dashboard: attach to a running feam serve "
+             "(--attach URL) or drive a matrix run, re-rendering "
+             "cells/sec, queue depth, shard hit rates, breaker states "
+             "and a rolling latency histogram in place")
+    watch.add_argument(
+        "--attach", metavar="URL", default=None,
+        help="poll this feam serve base URL's /snapshot endpoint "
+             "instead of driving a run (e.g. http://127.0.0.1:9464)")
+    watch.add_argument(
+        "--interval", type=float, default=1.0,
+        help="refresh interval in seconds (default: 1.0)")
+    watch.add_argument(
+        "--duration", type=float, default=None, metavar="SECONDS",
+        help="with --attach: stop after this long (default: until "
+             "Ctrl-C or the server goes away)")
+    watch.add_argument("--seed", type=int, default=20130101,
+                       help="world seed (default: 20130101)")
+    watch.add_argument("--binaries", type=int, default=4,
+                       help="test binaries to compile (default: 4)")
+    watch.add_argument(
+        "--sites", default="paper", metavar="SPEC",
+        help="site set: 'paper' or a generator spec like "
+             "'fleet:n=1000,seed=7' (default: paper)")
+    watch.add_argument("--extended", action="store_true",
+                       help="also run source phases")
+    watch.add_argument("--workers", type=int, default=None,
+                       help="thread-pool size")
+
+    query = sub.add_parser(
+        "query",
+        help="filter/aggregate a wide-event JSONL file (feam matrix "
+             "--wide-out): --where outcome=unknown --by site --top 20")
+    query.add_argument(
+        "events", metavar="WIDE.jsonl",
+        help="wide-event JSONL file (from --wide-out)")
+    query.add_argument(
+        "--where", action="append", default=[], metavar="CLAUSE",
+        help="filter clause, repeatable: field=value, field!=value, "
+             "or field>=number (also > < <=); clauses AND together")
+    query.add_argument(
+        "--by", default=None, metavar="FIELD",
+        help="group rows by this record field (default: one global "
+             "group)")
+    query.add_argument(
+        "--agg", action="append", default=[], metavar="SPEC",
+        help="aggregation column, repeatable: count (default) or "
+             "sum|min|max|mean|p50|p95|p99:field, e.g. p95:wall_seconds")
+    query.add_argument(
+        "--top", type=int, default=20,
+        help="rows to print, ranked by the first aggregation "
+             "(default: 20)")
+    query.add_argument(
+        "--json", action="store_true",
+        help="emit the result as JSON instead of a table")
+
     args = parser.parse_args(argv)
     if args.command == "matrix":
         return _feam_matrix(args)
@@ -352,7 +428,78 @@ def feam_main(argv: Optional[list[str]] = None) -> int:
         return _feam_slo(args)
     if args.command == "serve":
         return _feam_serve(args)
+    if args.command == "watch":
+        return _feam_watch(args)
+    if args.command == "query":
+        return _feam_query(args)
     return 2  # pragma: no cover - argparse enforces the choices
+
+
+def _add_telemetry_args(parser) -> None:
+    """The shared ``feam matrix`` / ``feam chaos`` telemetry flags.
+
+    Both default OFF: the chaos determinism gate depends on same-seed
+    reruns staying byte-identical, and telemetry must be a pure
+    opt-in overlay.
+    """
+    parser.add_argument(
+        "--wide-out", metavar="FILE.jsonl", default=None,
+        help="stream one wide event per cell (identity, verdict, "
+             "per-determinant outcomes, cache/retry/breaker "
+             "provenance, sim + wall clocks) to this JSONL file; "
+             "query it afterwards with 'feam query'")
+    parser.add_argument(
+        "--sample-spans", type=int, default=None, metavar="N",
+        help="tail-based span sampling: keep full span trees only for "
+             "degraded/faulted/SLO-breaching cells plus a seeded "
+             "1-in-N head sample; everything else keeps just its wide "
+             "event (0 disables the head sample; pair with "
+             "--trace-out to see the effect)")
+    parser.add_argument(
+        "--sample-slo", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget above which a sampled cell's spans "
+             "are always kept (default: the "
+             "sampling_latency_slo_seconds config key)")
+
+
+def _telemetry_from_args(args, config):
+    """``(wide_sink, sampler)`` from the telemetry flags, or None."""
+    from repro.obs.sampling import SamplingPolicy
+    from repro.obs.wide import WideEventSink
+
+    wide_sink = None
+    if getattr(args, "wide_out", None):
+        try:
+            wide_sink = WideEventSink(ring_size=config.wide_ring_size,
+                                      path=args.wide_out)
+        except OSError as exc:
+            print(f"cannot open wide-event file {args.wide_out!r}: "
+                  f"{exc}", file=sys.stderr)
+            return None
+    sampler = None
+    if getattr(args, "sample_spans", None) is not None:
+        slo_seconds = (args.sample_slo if args.sample_slo is not None
+                       else config.sampling_latency_slo_seconds)
+        sampler = SamplingPolicy(seed=args.seed,
+                                 head_n=args.sample_spans,
+                                 latency_slo_seconds=slo_seconds)
+    return wide_sink, sampler
+
+
+def _report_telemetry(wide_sink, collector=None) -> None:
+    """The post-run stderr summary of the telemetry overlay."""
+    if wide_sink is not None:
+        dropped = (f" ({wide_sink.dropped} evicted from the ring)"
+                   if wide_sink.dropped else "")
+        print(f"wide events: {wide_sink.emitted} written to "
+              f"{wide_sink.path}{dropped}", file=sys.stderr)
+    if collector is not None:
+        counters = collector.metrics.to_dict()["counters"]
+        kept = counters.get("obs.sampling.kept", 0)
+        dropped = counters.get("obs.sampling.dropped", 0)
+        if kept or dropped:
+            print(f"span sampling: kept {kept} cell tree(s), dropped "
+                  f"{dropped}", file=sys.stderr)
 
 
 def _build_matrix_inputs(args):
@@ -433,28 +580,40 @@ def _feam_matrix(args) -> int:
     if inputs is None:
         return EXIT_FAILURE
     sites, engine, binaries, bundles = inputs
+    telemetry = _telemetry_from_args(args, engine.config)
+    if telemetry is None:
+        if journal is not None:
+            journal.close()
+        return EXIT_FAILURE
+    wide_sink, sampler = telemetry
     print(f"evaluating {len(binaries)} binaries x {len(sites)} sites...",
           file=sys.stderr)
+    collector = None
     try:
-        if args.trace_out:
+        if args.trace_out or sampler is not None:
             with obs.capture() as collector:
                 result = engine.evaluate_matrix(
                     binaries, sites, bundles=bundles or None,
-                    journal=journal, resume=resume)
-            obs.export.write_jsonl(args.trace_out, collector)
-            print(f"trace written to {args.trace_out} "
-                  f"({len(collector.spans)} spans)", file=sys.stderr)
+                    journal=journal, resume=resume,
+                    wide_sink=wide_sink, sampler=sampler)
+            if args.trace_out:
+                obs.export.write_jsonl(args.trace_out, collector)
+                print(f"trace written to {args.trace_out} "
+                      f"({len(collector.spans)} spans)", file=sys.stderr)
         else:
             result = engine.evaluate_matrix(
                 binaries, sites, bundles=bundles or None,
-                journal=journal, resume=resume)
+                journal=journal, resume=resume, wide_sink=wide_sink)
     finally:
         if journal is not None:
             journal.close()
+        if wide_sink is not None:
+            wide_sink.close()
     print(result.render(verbose=args.verbose))
     if journal is not None:
         print(f"journal: {journal.written} cell(s) appended to "
               f"{journal.path}", file=sys.stderr)
+    _report_telemetry(wide_sink, collector)
     return 0
 
 
@@ -542,6 +701,12 @@ def _feam_chaos(args) -> int:
     if inputs is None:
         return EXIT_FAILURE
     sites, engine, binaries, bundles = inputs
+    telemetry = _telemetry_from_args(args, engine.config)
+    if telemetry is None:
+        if journal is not None:
+            journal.close()
+        return EXIT_FAILURE
+    wide_sink, sampler = telemetry
     print(f"injecting fault profile {plan.name!r} "
           f"({len(plan.specs)} spec(s), seed {plan.seed}); evaluating "
           f"{len(binaries)} binaries x {len(sites)} sites...",
@@ -554,11 +719,14 @@ def _feam_chaos(args) -> int:
             with faults_mod.injecting(plan):
                 result = engine.evaluate_matrix(
                     binaries, sites, bundles=bundles or None,
-                    journal=journal, resume=resume)
+                    journal=journal, resume=resume,
+                    wide_sink=wide_sink, sampler=sampler)
     finally:
         faults_mod.FaultPlan.disarm(sites)
         if journal is not None:
             journal.close()
+        if wide_sink is not None:
+            wide_sink.close()
     print(result.render(verbose=args.verbose))
     print()
     counters = collector.metrics.to_dict()["counters"]
@@ -567,6 +735,7 @@ def _feam_chaos(args) -> int:
     if journal is not None:
         print(f"journal: {journal.written} cell(s) appended to "
               f"{journal.path}", file=sys.stderr)
+    _report_telemetry(wide_sink, collector)
     if args.summary_out:
         with open(args.summary_out, "w", encoding="utf-8") as handle:
             json.dump(summary, handle, indent=2, sort_keys=True)
@@ -586,7 +755,7 @@ def _feam_stats(args) -> int:
           file=sys.stderr)
     with obs.capture() as collector:
         engine.evaluate_matrix(binaries, sites, bundles=bundles or None)
-    print(collector.metrics.render())
+    print(collector.metrics.render(limit=max(1, args.top)))
     return 0
 
 
@@ -771,6 +940,131 @@ def _feam_slo(args) -> int:
     return EXIT_OK if report.ok else EXIT_SLO_VIOLATION
 
 
+def _feam_watch(args) -> int:
+    import threading
+    import time as time_mod
+
+    from repro import obs
+    from repro.obs import watch as watch_mod
+
+    interval = max(0.1, args.interval)
+    out = sys.stdout
+    tty = out.isatty()
+    renderer = watch_mod.InPlaceRenderer(out) if tty else None
+    state = watch_mod.WatchState()
+
+    def draw(snap: dict, total_cells=None) -> None:
+        before = state.advance(snap, interval)
+        if tty:
+            renderer.draw(watch_mod.render_frame(
+                snap, before, interval, state.elapsed, total_cells))
+        else:
+            print(watch_mod.render_line(
+                snap, before, interval, state.elapsed, total_cells),
+                flush=True)
+
+    if args.attach:
+        import json as json_mod
+        from urllib.request import urlopen
+
+        base = args.attach.rstrip("/")
+        deadline = (time_mod.monotonic() + args.duration
+                    if args.duration is not None else None)
+        misses = 0
+        print(f"watching {base}/snapshot every {interval:g}s",
+              file=sys.stderr)
+        try:
+            while True:
+                try:
+                    with urlopen(f"{base}/snapshot", timeout=5) as resp:
+                        snap = json_mod.load(resp)
+                    misses = 0
+                except (OSError, ValueError) as exc:
+                    misses += 1
+                    if misses >= 3:
+                        print(f"lost {base}: {exc}", file=sys.stderr)
+                        return EXIT_FAILURE
+                    snap = state.previous or {}
+                draw(snap)
+                if deadline is not None \
+                        and time_mod.monotonic() >= deadline:
+                    return EXIT_OK
+                time_mod.sleep(interval)
+        except KeyboardInterrupt:
+            return EXIT_OK
+
+    # Drive mode: run the matrix in a worker thread and render the
+    # installed collector's snapshots until it finishes.
+    inputs = _build_matrix_inputs(args)
+    if inputs is None:
+        return EXIT_FAILURE
+    sites, engine, binaries, bundles = inputs
+    total_cells = len(binaries) * len(sites)
+    print(f"evaluating {len(binaries)} binaries x {len(sites)} "
+          f"sites...", file=sys.stderr)
+    results: list = []
+    failures: list = []
+
+    def run() -> None:
+        try:
+            results.append(engine.evaluate_matrix(
+                binaries, sites, bundles=bundles or None))
+        except BaseException as exc:  # surfaced on the main thread
+            failures.append(exc)
+
+    with obs.capture() as collector:
+        thread = threading.Thread(target=run, name="feam-watch-matrix",
+                                  daemon=True)
+        thread.start()
+        try:
+            while thread.is_alive():
+                thread.join(interval)
+                draw(watch_mod.sample(collector), total_cells)
+        except KeyboardInterrupt:
+            print("interrupted; abandoning the matrix run",
+                  file=sys.stderr)
+            return EXIT_FAILURE
+    if failures:
+        print(f"matrix run failed: {failures[0]}", file=sys.stderr)
+        return EXIT_FAILURE
+    result = results[0]
+    ready = sum(1 for c in result.cells if c.outcome_word == "ready")
+    unknown = sum(1 for c in result.cells if c.outcome_word == "unknown")
+    print(f"done: {len(result.cells)} cells, {ready} ready, "
+          f"{unknown} unknown, {len(result.cells) - ready - unknown} no")
+    return EXIT_OK
+
+
+def _feam_query(args) -> int:
+    import json as json_mod
+
+    from repro.obs import store as store_mod
+    from repro.obs import wide as wide_mod
+
+    try:
+        records = wide_mod.read_jsonl(args.events)
+    except OSError as exc:
+        print(f"cannot read wide events {args.events!r}: {exc}",
+              file=sys.stderr)
+        return EXIT_FAILURE
+    except ValueError as exc:
+        print(f"bad wide events {args.events!r}: {exc}", file=sys.stderr)
+        return EXIT_FAILURE
+    try:
+        where = [store_mod.parse_where(clause) for clause in args.where]
+        aggs = [store_mod.parse_agg(spec) for spec in args.agg]
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return EXIT_FAILURE
+    result = store_mod.run_query(records, where=where, by=args.by,
+                                 aggs=aggs, top=max(1, args.top))
+    if args.json:
+        print(json_mod.dumps(result.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(store_mod.render_result(result, where=where))
+    return EXIT_OK
+
+
 def _feam_serve(args) -> int:
     import time as time_mod
 
@@ -795,7 +1089,7 @@ def _feam_serve(args) -> int:
             return EXIT_FAILURE
         with server:
             print(f"serving {server.url}/metrics (+ /healthz /trace "
-                  f"/slo)", file=sys.stderr)
+                  f"/slo /snapshot)", file=sys.stderr)
             print(f"evaluating {len(binaries)} binaries x {len(sites)} "
                   f"sites, {max(1, args.rounds)} round(s)...",
                   file=sys.stderr)

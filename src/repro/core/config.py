@@ -69,6 +69,15 @@ class FeamConfig:
     matrix_workers: int = 0
     #: Lock-striped segments per engine cache layer.
     cache_shards: int = 16
+    #: Telemetry: wide-event ring-buffer capacity (oldest records are
+    #: evicted -- and counted -- once a run emits more than this).
+    wide_ring_size: int = 65536
+    #: Telemetry: tail sampling keeps a seeded 1-in-N head sample of
+    #: clean cells' span trees; 0 keeps none beyond degraded/slow cells.
+    sampling_head_n: int = 100
+    #: Telemetry: span trees of cells slower than this (wall seconds)
+    #: are always kept (matches the default cell-latency p95 SLO).
+    sampling_latency_slo_seconds: float = 2.0
 
     def mpiexec_for(self, mpi_type: Optional[str]) -> str:
         """The launch command for an MPI type (Section V.C default)."""
@@ -87,8 +96,10 @@ class FeamConfig:
         ``library_check_seconds``, ``resolution_seconds_per_library``,
         ``hello_retest_seconds``), the resilience keys (``retry_*``,
         ``breaker_*``, ``cell_deadline_seconds``), the engine pool keys
-        (``matrix_workers``, ``cache_shards``), and
-        ``mpiexec.<MPI type>`` overrides.
+        (``matrix_workers``, ``cache_shards``), the telemetry keys
+        (``wide_ring_size``, ``sampling_head_n``,
+        ``sampling_latency_slo_seconds``), and ``mpiexec.<MPI type>``
+        overrides.
         """
         kwargs: dict = {}
         overrides: dict[str, str] = {}
@@ -108,7 +119,8 @@ class FeamConfig:
             elif key in ("hello_nprocs", "max_resolution_depth",
                          "retry_max_attempts", "breaker_failure_threshold",
                          "breaker_probe_after", "matrix_workers",
-                         "cache_shards"):
+                         "cache_shards", "wide_ring_size",
+                         "sampling_head_n"):
                 kwargs[key] = int(value)
             elif key in ("feam_base_seconds", "feam_seconds_per_dependency",
                          "stack_assessment_seconds", "library_check_seconds",
@@ -116,7 +128,8 @@ class FeamConfig:
                          "hello_retest_seconds", "retry_base_seconds",
                          "retry_backoff_multiplier",
                          "retry_max_delay_seconds", "retry_jitter",
-                         "cell_deadline_seconds"):
+                         "cell_deadline_seconds",
+                         "sampling_latency_slo_seconds"):
                 kwargs[key] = float(value)
             else:
                 raise ValueError(f"config line {lineno}: unknown key {key!r}")
@@ -150,6 +163,10 @@ class FeamConfig:
             f"cell_deadline_seconds = {self.cell_deadline_seconds}",
             f"matrix_workers = {self.matrix_workers}",
             f"cache_shards = {self.cache_shards}",
+            f"wide_ring_size = {self.wide_ring_size}",
+            f"sampling_head_n = {self.sampling_head_n}",
+            f"sampling_latency_slo_seconds = "
+            f"{self.sampling_latency_slo_seconds}",
         ]
         for mpi_type, command in sorted(self.mpiexec_overrides.items()):
             lines.append(f"mpiexec.{mpi_type} = {command}")

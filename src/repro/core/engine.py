@@ -90,6 +90,7 @@ from repro.core.resilience import (
     with_retries,
 )
 from repro.core.sharding import HitMissCounter, ShardedMap
+from repro.obs import wide as wide_mod
 from repro.sysmodel import faults
 from repro.util.hashing import content_digest, stable_digest
 
@@ -188,6 +189,54 @@ def cell_from_record(record: dict) -> "MatrixCell":
                  if fault is not None else None))
     return MatrixCell(binary_id=record["binary"],
                       site_name=record["site"], report=report)
+
+
+def wide_record(cell: "MatrixCell", *, worker: str = "worker-0",
+                steals: int = 0, resumed: bool = False,
+                wall_seconds: Optional[float] = None,
+                content_group: Optional[str] = None,
+                sample=None) -> dict:
+    """One cell flattened into a wide event (:mod:`repro.obs.wide`).
+
+    This is the engine half of the wide-event layer: ``repro.obs`` is a
+    strictly lower layer and cannot know what a matrix cell is, so the
+    flattening lives here, next to :func:`cell_record`.  Unlike the
+    journal record, wide events deliberately carry wall-clock and
+    scheduling facts (worker, steals) -- they are telemetry, not resume
+    state, and are never replayed into cells.
+    """
+    report = cell.report
+    failure = report.failure
+    record = {
+        "schema": wide_mod.SCHEMA_VERSION,
+        "site": cell.site_name,
+        "binary": cell.binary_id,
+        "content_group": content_group,
+        "outcome": cell.outcome_word,
+        "ready": report.ready,
+        "faulted": cell.faulted,
+        "sim_seconds": round(report.feam_seconds, 6),
+        "wall_seconds": (round(wall_seconds, 6)
+                         if wall_seconds is not None else None),
+        "worker": worker,
+        "steals": steals,
+        "resumed": resumed,
+        "description_hit": report.cache.description_hit,
+        "discovery_hit": report.cache.discovery_hit,
+        "evaluation_hit": report.cache.evaluation_hit,
+        "attempts": failure.attempts if failure is not None else 1,
+        "retry_seconds": (round(failure.retry_seconds, 6)
+                          if failure is not None else 0.0),
+        "fault_kind": failure.kind if failure is not None else None,
+        "breaker_state": (failure.breaker_state if failure is not None
+                          else BreakerState.CLOSED.value),
+    }
+    for result in report.prediction.determinants:
+        record[f"det_{result.key}"] = result.outcome.value
+    if sample is not None:
+        record["spans_kept"] = bool(sample.keep)
+        record["sample_reason"] = sample.reason
+    return record
 
 
 @dataclasses.dataclass(frozen=True)
@@ -681,7 +730,8 @@ class EvaluationEngine:
     def evaluate_matrix(self, binaries: Sequence, sites: Sequence,
                         bundles: Optional[dict] = None,
                         journal: Optional[MatrixJournal] = None,
-                        resume: Optional[dict] = None) -> MatrixResult:
+                        resume: Optional[dict] = None,
+                        wide_sink=None, sampler=None) -> MatrixResult:
         """Evaluate every binary against every site, in parallel by site.
 
         *binaries* holds :class:`EngineBinary` items or anything with
@@ -694,6 +744,15 @@ class EvaluationEngine:
         -- restores already-journalled cells without re-evaluating them.
         A worker that dies mid-site never aborts the matrix: its
         remaining cells degrade to UNKNOWN with provenance.
+
+        Telemetry: with a *wide_sink* (:class:`repro.obs.wide.
+        WideEventSink`), every cell -- evaluated, journal-restored, or
+        filled in by the worker-failure path -- emits exactly one wide
+        event, so the sink's count always equals the cell count.  With
+        a *sampler* (:class:`repro.obs.sampling.SamplingPolicy`), span
+        subtrees of cells the policy drops are pruned from the tracer
+        once the matrix finishes; only degraded/faulted/slow cells and
+        the seeded head sample keep their trees.
 
         Scheduling: sites are grouped into work units -- one unit per
         hand-built site, one unit per *content group* for generated
@@ -728,13 +787,47 @@ class EvaluationEngine:
                     units.append(unit)
                 unit.append((position, site))
         workers_effective = max(1, min(workers, len(units)))
+        steal_counts = [0] * workers_effective
+        #: (binary, site) -> reason, for cells whose spans the sampler
+        #: dropped; keys the post-matrix subtree prune.
+        sampling_drops: dict[tuple[str, str], str] = {}
+
+        def finish_cell(cell: MatrixCell, *, wid: int, content,
+                        resumed_cell: bool,
+                        wall: Optional[float]) -> None:
+            """Per-cell telemetry: sampling decision + wide event.
+
+            Called at every point a cell enters the matrix -- evaluated,
+            journal-restored, or filled in by the worker-failure path --
+            so wide-event count always equals cell count.
+            """
+            decision = None
+            if sampler is not None:
+                decision = sampler.decide(
+                    cell.site_name, cell.binary_id, cell.outcome_word,
+                    cell.faulted, wall_seconds=wall)
+                if decision.keep:
+                    obs.counter("obs.sampling.kept").inc()
+                    obs.counter(
+                        f"obs.sampling.kept.{decision.reason}").inc()
+                else:
+                    obs.counter("obs.sampling.dropped").inc()
+                    sampling_drops[(cell.binary_id, cell.site_name)] = \
+                        decision.reason
+            if wide_sink is not None:
+                wide_sink.emit(wide_record(
+                    cell, worker=f"worker-{wid}",
+                    steals=steal_counts[wid], resumed=resumed_cell,
+                    wall_seconds=wall, content_group=content,
+                    sample=decision))
+            obs.counter("cells.evaluated").inc()
 
         with obs.span("engine.matrix", binaries=len(specs),
                       sites=len(sites), workers=workers_effective,
                       units=len(units)) as matrix_span:
             started = time.perf_counter()
 
-            def run_site(site) -> list[MatrixCell]:
+            def run_site(site, wid: int) -> list[MatrixCell]:
                 worker_started = time.perf_counter()
                 content = getattr(site, "content_key", None)
                 with obs.span("engine.site", parent=matrix_span,
@@ -745,24 +838,33 @@ class EvaluationEngine:
                             restored = (resume or {}).get(
                                 (spec.binary_id, site.name))
                             if restored is not None:
-                                cells.append(cell_from_record(restored))
+                                cell = cell_from_record(restored)
+                                cells.append(cell)
+                                finish_cell(cell, wid=wid,
+                                            content=content,
+                                            resumed_cell=True, wall=None)
                                 continue
                             # Content-group sites use a site-independent
                             # staging tag so their cells share one cache
                             # entry; hand-built sites keep per-site tags.
                             tag = (spec.binary_id if content is not None
                                    else f"{spec.binary_id}-{site.name}")
+                            cell_started = time.perf_counter()
                             report = self.evaluate_cell(
                                 site, image=spec.image,
                                 binary_id=spec.binary_id,
                                 bundle=spec.bundle,
                                 staging_tag=tag.replace("/", "-"))
+                            cell_wall = time.perf_counter() - cell_started
                             cell = MatrixCell(
                                 binary_id=spec.binary_id,
                                 site_name=site.name, report=report)
                             if journal is not None:
                                 journal.record(cell_record(cell))
                             cells.append(cell)
+                            finish_cell(cell, wid=wid, content=content,
+                                        resumed_cell=False,
+                                        wall=cell_wall)
                     except (KeyboardInterrupt, SystemExit):
                         raise
                     except Exception as exc:
@@ -776,11 +878,14 @@ class EvaluationEngine:
                                   completed=len(cells))
                         obs.counter("resilience.workers.failed").inc()
                         for spec in specs[len(cells):]:
-                            cells.append(MatrixCell(
+                            cell = MatrixCell(
                                 binary_id=spec.binary_id,
                                 site_name=site.name,
                                 report=self.degraded_report(
-                                    site, provenance)))
+                                    site, provenance))
+                            cells.append(cell)
+                            finish_cell(cell, wid=wid, content=content,
+                                        resumed_cell=False, wall=None)
                     site_span.set_attrs(
                         cells=len(cells),
                         ready=sum(c.ready for c in cells))
@@ -790,15 +895,14 @@ class EvaluationEngine:
                 return cells
 
             per_site: list = [None] * len(sites)
-            steal_counts = [0] * workers_effective
 
-            def run_unit(unit) -> None:
+            def run_unit(unit, wid: int) -> None:
                 for position, site in unit:
-                    per_site[position] = run_site(site)
+                    per_site[position] = run_site(site, wid)
 
             if workers_effective <= 1 or len(units) <= 1:
                 for unit in units:
-                    run_unit(unit)
+                    run_unit(unit, 0)
             else:
                 # Per-worker deques: owner pops from the head, thieves
                 # steal from the tail of the longest victim.  Single
@@ -833,7 +937,7 @@ class EvaluationEngine:
                             steal_counts[wid] += 1
                             obs.counter("engine.matrix.steals").inc()
                         queue_gauge.set(sum(len(d) for d in deques))
-                        run_unit(unit)
+                        run_unit(unit, wid)
 
                 with ThreadPoolExecutor(
                         max_workers=workers_effective) as pool:
@@ -850,6 +954,19 @@ class EvaluationEngine:
                 utilization=round(utilization, 3),
                 cells=len(specs) * len(sites),
                 steals=sum(steal_counts))
+        if sampling_drops:
+            # Tail sampling: prune the span subtrees of every cell the
+            # policy dropped.  ``engine.cell`` spans carry binary + site
+            # attrs, and spans finish children-before-parents, so one
+            # reverse pass drops each subtree (quarantined cells open no
+            # cell span, but the policy always keeps faulted cells).
+            removed = obs.current().tracer.discard_subtrees(
+                lambda span: (
+                    span.name == "engine.cell"
+                    and (span.attrs.get("binary"),
+                         span.attrs.get("site")) in sampling_drops))
+            if removed:
+                obs.counter("obs.sampling.spans_dropped").inc(removed)
         # Deterministic assembly: binary-major, site order as given.
         cells = [per_site[s][b]
                  for b in range(len(specs)) for s in range(len(sites))]
@@ -886,6 +1003,17 @@ class EvaluationEngine:
                           + stats.evaluation_misses)
         if lookups:
             obs.gauge("engine.cache.hit_rate").set(hits / lookups)
+        for layer, layer_hits, layer_misses in (
+                ("description", stats.description_hits,
+                 stats.description_misses),
+                ("discovery", stats.discovery_hits,
+                 stats.discovery_misses),
+                ("evaluation", stats.evaluation_hits,
+                 stats.evaluation_misses)):
+            layer_lookups = layer_hits + layer_misses
+            if layer_lookups:
+                obs.gauge(f"engine.cache.{layer}.hit_rate").set(
+                    layer_hits / layer_lookups)
         for layer, cache in (("description", self._descriptions),
                              ("evaluation", self._reports)):
             for index, (shard_hits, shard_misses, _entries) in enumerate(

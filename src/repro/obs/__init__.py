@@ -52,10 +52,14 @@ __all__ = [
     "install",
     "is_active",
     "metrics",
+    "sampling",
     "serve",
     "slo",
     "span",
+    "store",
     "uninstall",
+    "watch",
+    "wide",
 ]
 
 
@@ -166,7 +170,12 @@ def histogram(name: str):
 
 
 # Analysis layers over the collector, importable as ``obs.analyze`` etc.
-# (at the bottom: ``slo`` and ``serve`` call back into this facade).
+# (at the bottom: ``slo``, ``serve`` and ``wide`` call back into this
+# facade).
 from repro.obs import analyze  # noqa: E402,F401
+from repro.obs import sampling  # noqa: E402,F401
 from repro.obs import slo  # noqa: E402,F401
 from repro.obs import serve  # noqa: E402,F401
+from repro.obs import store  # noqa: E402,F401
+from repro.obs import watch  # noqa: E402,F401
+from repro.obs import wide  # noqa: E402,F401

@@ -227,9 +227,10 @@ def _ms(seconds: float) -> str:
 
 
 def render_top(prof: Profile, sort: str = "wall_self",
-               limit: int = 30) -> str:
+               limit: int = 20) -> str:
     """The ``feam top`` flame table: one row per span name."""
-    frames = prof.sorted_frames(sort)[:max(1, limit)]
+    ranked = prof.sorted_frames(sort)
+    frames = ranked[:max(1, limit)]
     if not frames:
         return "(no spans)"
     width = max([len(f.name) for f in frames] + [4])
@@ -243,6 +244,10 @@ def render_top(prof: Profile, sort: str = "wall_self",
             f"{_ms(frame.wall_total):>9}ms  {_ms(frame.wall_self):>8}ms  "
             f"{frame.sim_total:>9.1f}s  {frame.sim_self:>8.1f}s  "
             f"{frame.errors:>4}")
+    truncated = len(ranked) - len(frames)
+    if truncated > 0:
+        lines.append(f"... and {truncated} more row(s) "
+                     f"(raise --top to see them)")
     lines.append(f"({prof.span_count} spans, "
                  f"{len(prof.frames)} distinct names; sorted by {sort})")
     return "\n".join(lines)

@@ -236,27 +236,46 @@ class MetricsRegistry:
                            for name, h in sorted(histograms.items())},
         }
 
-    def render(self) -> str:
-        """Human-readable dump (the ``feam stats`` output)."""
+    def render(self, limit: Optional[int] = None) -> str:
+        """Human-readable dump (the ``feam stats`` output).
+
+        With *limit*, each section shows at most that many rows (name
+        order) and closes with an explicit "... and K more" footer --
+        a fleet run mints hundreds of instruments, and an uncapped
+        dump buries the interesting ones.
+        """
         snapshot = self.to_dict()
         lines: list[str] = []
+
+        def footer(total: int) -> None:
+            if limit is not None and total > limit:
+                lines.append(f"  ... and {total - limit} more row(s) "
+                             f"(raise --top to see them)")
+
+        def capped(section: dict) -> list:
+            items = list(section.items())
+            return items[:limit] if limit is not None else items
+
         if snapshot["counters"]:
             lines.append("counters:")
             width = max(len(n) for n in snapshot["counters"])
-            for name, value in snapshot["counters"].items():
+            for name, value in capped(snapshot["counters"]):
                 lines.append(f"  {name:<{width}}  {value}")
+            footer(len(snapshot["counters"]))
         if snapshot["gauges"]:
             lines.append("gauges:")
             width = max(len(n) for n in snapshot["gauges"])
-            for name, value in snapshot["gauges"].items():
+            for name, value in capped(snapshot["gauges"]):
                 lines.append(f"  {name:<{width}}  {value:.3f}")
+            footer(len(snapshot["gauges"]))
         if snapshot["histograms"]:
             lines.append("histograms:")
-            for name, summary in snapshot["histograms"].items():
+            for name, summary in capped(snapshot["histograms"]):
                 lines.append(
                     f"  {name}  count={summary['count']} "
                     f"mean={_fmt(summary['mean'])} p50={_fmt(summary['p50'])} "
                     f"p95={_fmt(summary['p95'])} max={_fmt(summary['max'])}")
+            footer(len(snapshot["histograms"]))
         return "\n".join(lines) if lines else "(no metrics collected)"
 
 
@@ -306,5 +325,5 @@ class NullMetrics:
     def to_dict(self) -> dict:
         return {"counters": {}, "gauges": {}, "histograms": {}}
 
-    def render(self) -> str:
+    def render(self, limit=None) -> str:
         return "(no metrics collected)"

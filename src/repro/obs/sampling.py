@@ -1,0 +1,116 @@
+"""Tail-based span sampling: keep the trees that explain something.
+
+Head sampling decides *before* an operation runs whether to trace it;
+tail sampling decides *after*, when the outcome is known.  For a fleet
+matrix that is the only defensible policy: the interesting cells --
+the ones that degraded, faulted, or blew the latency objective -- are
+precisely the ones a head sampler would have dropped with probability
+(N-1)/N.
+
+The policy here keeps a cell's full span subtree when any of:
+
+* the cell **degraded** -- its verdict is ``unknown`` (at least one
+  determinant could not be determined), the fleet's triage signal;
+* the cell **faulted** -- it carries failure provenance (injected
+  fault, retries exhausted, quarantine);
+* the cell **breached the latency SLO** -- its wall time exceeded
+  ``latency_slo_seconds`` (the per-cell p95 objective from
+  :data:`repro.obs.slo.DEFAULT_RULES`);
+* the cell fell in the **seeded head sample** -- a deterministic
+  1-in-N draw via :func:`repro.util.hashing.stable_uniform` over
+  ``(seed, site, binary)``, so the kept set is byte-identical across
+  processes and reruns (the same idiom that makes fleets and fault
+  plans reproducible).
+
+Everything else keeps only its wide event
+(:mod:`repro.obs.wide`); the spans are discarded through
+:meth:`repro.obs.tracer.Tracer.discard_subtrees`.  The drop rate is
+provable from counters: ``obs.sampling.kept`` + ``obs.sampling.dropped``
+always equals the number of decisions, and ``obs.sampling.kept.<reason>``
+breaks the kept set down by cause.
+
+Note the one deliberately non-deterministic clause: the SLO breach
+reads the *wall* clock, so a run on a loaded machine may keep more
+trees than an idle one.  That is the point of an SLO clause -- but it
+is why determinism tests pin ``latency_slo_seconds`` high enough that
+only the seeded clauses fire.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from repro.util.hashing import stable_uniform
+
+#: Decision reasons, in evaluation order (first match wins).
+REASON_FAULTED = "faulted"
+REASON_DEGRADED = "degraded"
+REASON_SLO_BREACH = "slo-breach"
+REASON_HEAD_SAMPLE = "head-sample"
+REASON_DROPPED = "dropped"
+
+KEEP_REASONS = (REASON_FAULTED, REASON_DEGRADED, REASON_SLO_BREACH,
+                REASON_HEAD_SAMPLE)
+
+
+@dataclasses.dataclass(frozen=True)
+class SamplingDecision:
+    """One cell's verdict: keep its span subtree, or only the wide event."""
+
+    keep: bool
+    reason: str
+
+    def __bool__(self) -> bool:
+        return self.keep
+
+
+@dataclasses.dataclass(frozen=True)
+class SamplingPolicy:
+    """The tail-sampling knobs for one run.
+
+    *seed* keys the deterministic head sample; *head_n* keeps roughly
+    one cell in N (0 disables the head sample entirely);
+    *latency_slo_seconds* is the wall-clock budget above which a cell's
+    tree is always kept (``inf``/very large disables the clause).
+    """
+
+    seed: int = 0
+    head_n: int = 100
+    latency_slo_seconds: float = 2.0
+
+    def head_sampled(self, site: str, binary: str) -> bool:
+        """The seeded 1-in-N draw for one cell (process-independent)."""
+        if self.head_n <= 0:
+            return False
+        return stable_uniform(
+            "tail-sample", self.seed, site, binary) < 1.0 / self.head_n
+
+    def decide(self, site: str, binary: str, outcome: str,
+               faulted: bool,
+               wall_seconds: Optional[float] = None) -> SamplingDecision:
+        """Keep or drop one finished cell's span subtree.
+
+        *outcome* is the grid word (``ready``/``unknown``/``no``);
+        ``unknown`` counts as degraded.  *wall_seconds* may be None for
+        cells that never ran (restored from a journal) -- the SLO
+        clause then cannot fire.
+        """
+        if faulted:
+            return SamplingDecision(True, REASON_FAULTED)
+        if outcome == "unknown":
+            return SamplingDecision(True, REASON_DEGRADED)
+        if (wall_seconds is not None
+                and wall_seconds > self.latency_slo_seconds):
+            return SamplingDecision(True, REASON_SLO_BREACH)
+        if self.head_sampled(site, binary):
+            return SamplingDecision(True, REASON_HEAD_SAMPLE)
+        return SamplingDecision(False, REASON_DROPPED)
+
+    @staticmethod
+    def from_config(config, seed: int = 0) -> "SamplingPolicy":
+        """A policy from :class:`~repro.core.config.FeamConfig` knobs."""
+        return SamplingPolicy(
+            seed=seed,
+            head_n=config.sampling_head_n,
+            latency_slo_seconds=config.sampling_latency_slo_seconds)

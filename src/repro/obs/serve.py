@@ -35,6 +35,8 @@ path       response
 /trace     the latest span tree as nested JSON
 /slo       DEFAULT_RULES (or the server's rules) against live metrics,
            plus the same per-site ``breakers`` map
+/snapshot  a ``repro.obs.watch.sample`` snapshot (metric summaries plus
+           raw histogram buckets) -- the ``feam watch`` attach feed
 ========== ============================================================
 
 Both health-facing endpoints surface circuit-breaker state: the
@@ -68,6 +70,15 @@ CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 #: not import ``repro.core``.
 _BREAKER_GAUGE = re.compile(r"^resilience\.breaker\.(?P<site>.+)\.state$")
 _BREAKER_WORDS = {0: "closed", 1: "half-open", 2: "open"}
+
+#: Per-shard cache gauges (``engine.cache.<layer>.shard.<i>.hit_rate``)
+#: are folded into ONE labeled metric family on export.  Exposing each
+#: shard as its own metric name would mint ``layers x shards`` series
+#: names (48 with the default 16-shard config) that no dashboard can
+#: aggregate; ``{layer=...,shard=...}`` labels keep the cardinality in
+#: label space where PromQL ``sum by (layer)`` can fold it.
+_SHARD_GAUGE = re.compile(
+    r"^engine\.cache\.(?P<layer>[^.]+)\.shard\.(?P<shard>\d+)\.hit_rate$")
 
 
 def breaker_states(registry) -> dict:
@@ -137,11 +148,27 @@ def render_prometheus(registry, namespace: str = "feam",
         lines.append(f"# TYPE {metric} counter")
         lines.append(f"{metric}{plain} {_num(counter.value)}")
 
+    shard_samples: list[tuple[str, int, float]] = []
     for name, gauge in sorted(gauges.items()):
+        match = _SHARD_GAUGE.match(name)
+        if match is not None:
+            shard_samples.append((match.group("layer"),
+                                  int(match.group("shard")), gauge.value))
+            continue
         metric = _metric_name(name, namespace)
         lines.append(f"# HELP {metric} FEAM gauge {name}")
         lines.append(f"# TYPE {metric} gauge")
         lines.append(f"{metric}{plain} {_num(gauge.value)}")
+
+    if shard_samples:
+        metric = _metric_name("engine.cache.shard.hit_rate", namespace)
+        lines.append(f"# HELP {metric} FEAM per-shard cache hit rate "
+                     f"(labels: layer, shard)")
+        lines.append(f"# TYPE {metric} gauge")
+        for layer, shard, value in sorted(shard_samples):
+            merged = dict(labels or {})
+            merged.update({"layer": layer, "shard": str(shard)})
+            lines.append(f"{metric}{_label_str(merged)} {_num(value)}")
 
     for name, histogram in sorted(histograms.items()):
         metric = _metric_name(name, namespace)
@@ -201,6 +228,11 @@ class _Handler(BaseHTTPRequestHandler):
         elif path == "/trace":
             spans = collector.tracer.snapshot()
             self._reply_json(200, trace_tree_json(spans))
+        elif path == "/snapshot":
+            # The ``feam watch`` attach-mode feed: a watch.sample()
+            # snapshot (metric summaries + raw histogram buckets).
+            from repro.obs import watch as watch_mod
+            self._reply_json(200, watch_mod.sample(collector))
         elif path == "/slo":
             report = slo_mod.evaluate(
                 telemetry.rules, collector.metrics.to_dict())
@@ -210,7 +242,8 @@ class _Handler(BaseHTTPRequestHandler):
         else:
             self._reply_json(404, {"error": f"unknown path {path!r}",
                                    "paths": ["/metrics", "/healthz",
-                                             "/trace", "/slo"]})
+                                             "/trace", "/slo",
+                                             "/snapshot"]})
 
     def _reply_json(self, status: int, payload: dict) -> None:
         body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")

@@ -170,7 +170,11 @@ def parse_rules(text: str) -> list[SloRule]:
 #: The default service objectives for a warm batch-evaluation run.
 #: The resilience rules are optional: their counters only exist once
 #: the retry/fault plumbing ran, and a clean (no-fault) run must show
-#: zero injections and zero retries.
+#: zero injections and zero retries.  ``obs.sampling.dropped`` is an
+#: informational rule (trivially satisfiable, optional): it surfaces
+#: the tail sampler's drop count in every SLO report so a run whose
+#: sampling silently stopped dropping -- span memory ballooning -- is
+#: visible where operators already look.
 DEFAULT_RULES: tuple[SloRule, ...] = tuple(parse_rules("""
     engine.cache.hit_rate          >= 0.5
     matrix.unknown_cells.pct       <= 10
@@ -179,6 +183,7 @@ DEFAULT_RULES: tuple[SloRule, ...] = tuple(parse_rules("""
     engine.matrix.worker_utilization >= 0.1  ?
     resilience.faults.injected     <= 0     ?
     resilience.retries.total       <= 0     ?
+    obs.sampling.dropped           >= 0     ?
 """))
 
 

@@ -1,0 +1,200 @@
+"""Tail-based span sampling: policy order, determinism, subtree eviction.
+
+The sampler's whole value is that its kept set is *reproducible*: the
+seeded head sample rides on ``stable_uniform``, so the same seed must
+elect the same cells in any process -- the 2-process ``-R`` check at
+the bottom proves it the same way the fleet generator's tests do.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro import obs
+from repro.core.config import FeamConfig
+from repro.obs.sampling import (
+    KEEP_REASONS,
+    REASON_DEGRADED,
+    REASON_DROPPED,
+    REASON_FAULTED,
+    REASON_HEAD_SAMPLE,
+    REASON_SLO_BREACH,
+    SamplingDecision,
+    SamplingPolicy,
+)
+
+_SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+
+class TestDecisionOrder:
+    def test_faulted_wins_over_everything(self):
+        policy = SamplingPolicy(seed=1, head_n=1, latency_slo_seconds=0.0)
+        decision = policy.decide("s", "b", "unknown", True,
+                                 wall_seconds=99.0)
+        assert decision.keep and decision.reason == REASON_FAULTED
+
+    def test_degraded_outcome_is_kept(self):
+        policy = SamplingPolicy(seed=1, head_n=0, latency_slo_seconds=1e9)
+        decision = policy.decide("s", "b", "unknown", False)
+        assert decision.keep and decision.reason == REASON_DEGRADED
+
+    def test_slo_breach_is_kept(self):
+        policy = SamplingPolicy(seed=1, head_n=0, latency_slo_seconds=0.5)
+        decision = policy.decide("s", "b", "ready", False,
+                                 wall_seconds=0.6)
+        assert decision.keep and decision.reason == REASON_SLO_BREACH
+
+    def test_slo_clause_needs_a_wall_time(self):
+        # Journal-restored cells never ran; the clause cannot fire.
+        policy = SamplingPolicy(seed=1, head_n=0, latency_slo_seconds=0.0)
+        decision = policy.decide("s", "b", "ready", False,
+                                 wall_seconds=None)
+        assert not decision.keep and decision.reason == REASON_DROPPED
+
+    def test_wall_time_at_the_slo_is_not_a_breach(self):
+        policy = SamplingPolicy(seed=1, head_n=0, latency_slo_seconds=0.5)
+        assert not policy.decide("s", "b", "ready", False,
+                                 wall_seconds=0.5).keep
+
+    def test_healthy_fast_unsampled_cell_is_dropped(self):
+        policy = SamplingPolicy(seed=1, head_n=0, latency_slo_seconds=1e9)
+        decision = policy.decide("s", "b", "ready", False,
+                                 wall_seconds=0.001)
+        assert not decision
+        assert decision.reason == REASON_DROPPED
+
+    def test_decision_is_truthy_iff_kept(self):
+        assert SamplingDecision(True, REASON_FAULTED)
+        assert not SamplingDecision(False, REASON_DROPPED)
+
+    def test_keep_reasons_cover_every_keeping_clause(self):
+        assert KEEP_REASONS == (REASON_FAULTED, REASON_DEGRADED,
+                                REASON_SLO_BREACH, REASON_HEAD_SAMPLE)
+        assert REASON_DROPPED not in KEEP_REASONS
+
+
+class TestHeadSample:
+    def test_head_n_zero_disables_the_draw(self):
+        policy = SamplingPolicy(seed=1, head_n=0)
+        assert not any(policy.head_sampled(f"gen-{i:04d}", "b")
+                       for i in range(200))
+
+    def test_head_n_one_keeps_everything(self):
+        policy = SamplingPolicy(seed=1, head_n=1, latency_slo_seconds=1e9)
+        for index in range(50):
+            decision = policy.decide(f"gen-{index:04d}", "b",
+                                     "ready", False)
+            assert decision.keep
+            assert decision.reason == REASON_HEAD_SAMPLE
+
+    def test_rate_is_roughly_one_in_n(self):
+        policy = SamplingPolicy(seed=7, head_n=10)
+        kept = sum(policy.head_sampled(f"gen-{i:04d}", "app-0")
+                   for i in range(2000))
+        assert 120 <= kept <= 280  # ~200 expected; generous CI margin
+
+    def test_seed_changes_the_elected_set(self):
+        sites = [f"gen-{i:04d}" for i in range(500)]
+        kept_a = {s for s in sites
+                  if SamplingPolicy(seed=1, head_n=10).head_sampled(s, "b")}
+        kept_b = {s for s in sites
+                  if SamplingPolicy(seed=2, head_n=10).head_sampled(s, "b")}
+        assert kept_a and kept_b and kept_a != kept_b
+
+    def test_same_seed_same_set_in_process(self):
+        sites = [f"gen-{i:04d}" for i in range(500)]
+        draws = [
+            {s for s in sites
+             if SamplingPolicy(seed=7, head_n=10).head_sampled(s, "b")}
+            for _ in range(2)
+        ]
+        assert draws[0] == draws[1]
+
+    def test_from_config(self):
+        config = FeamConfig(sampling_head_n=13,
+                            sampling_latency_slo_seconds=0.75)
+        policy = SamplingPolicy.from_config(config, seed=42)
+        assert policy == SamplingPolicy(seed=42, head_n=13,
+                                        latency_slo_seconds=0.75)
+
+
+#: Printed by two hash-randomised interpreters; byte-identical output
+#: proves the elected set never leans on process-dependent hashing.
+_SUBPROCESS_SNIPPET = """
+from repro.obs.sampling import SamplingPolicy
+policy = SamplingPolicy(seed=7, head_n=5, latency_slo_seconds=1e9)
+kept = [f"gen-{i:04d}" for i in range(300)
+        if policy.decide(f"gen-{i:04d}", "app-0", "ready", False,
+                         wall_seconds=0.001).keep]
+print("\\n".join(kept))
+"""
+
+
+class TestCrossProcessDeterminism:
+    def test_kept_set_is_byte_identical_across_processes(self):
+        outputs = []
+        for _ in range(2):
+            result = subprocess.run(
+                [sys.executable, "-R", "-c", _SUBPROCESS_SNIPPET],
+                capture_output=True, text=True, check=True,
+                env={"PYTHONPATH": _SRC, "PATH": "/usr/bin:/bin"})
+            outputs.append(result.stdout)
+        assert outputs[0] == outputs[1]
+        assert outputs[0].strip(), "head sample elected nothing"
+
+
+class TestDiscardSubtrees:
+    @staticmethod
+    def _traced():
+        with obs.capture() as collector:
+            for cell in ("a", "b", "c"):
+                with obs.span("engine.cell", site=cell):
+                    with obs.span("determinant", site=cell):
+                        with obs.span("probe", site=cell):
+                            pass
+            with obs.span("engine.matrix"):
+                pass
+        return collector.tracer
+
+    def test_drops_root_and_descendants_transitively(self):
+        tracer = self._traced()
+        removed = tracer.discard_subtrees(
+            lambda span: span.name == "engine.cell"
+            and span.attrs.get("site") in {"a", "c"})
+        assert removed == 6  # two cells x (cell + determinant + probe)
+        survivors = {(s.name, s.attrs.get("site")) for s in tracer.spans}
+        assert survivors == {("engine.cell", "b"), ("determinant", "b"),
+                             ("probe", "b"), ("engine.matrix", None)}
+
+    def test_no_match_removes_nothing(self):
+        tracer = self._traced()
+        before = list(tracer.spans)
+        assert tracer.discard_subtrees(lambda span: False) == 0
+        assert tracer.spans == before
+
+    def test_null_tracer_is_a_no_op(self):
+        from repro.obs.tracer import NullTracer
+        assert NullTracer().discard_subtrees(lambda span: True) == 0
+
+    def test_counters_add_up_under_a_matrix_style_loop(self):
+        # The engine-facing identity: every decision is either kept or
+        # dropped, and kept reasons break the total down exactly.
+        policy = SamplingPolicy(seed=7, head_n=4, latency_slo_seconds=1e9)
+        with obs.capture() as collector:
+            for index in range(100):
+                site = f"gen-{index:04d}"
+                decision = policy.decide(site, "b", "ready", False,
+                                         wall_seconds=0.001)
+                if decision.keep:
+                    obs.counter("obs.sampling.kept").inc()
+                    obs.counter(
+                        f"obs.sampling.kept.{decision.reason}").inc()
+                else:
+                    obs.counter("obs.sampling.dropped").inc()
+        counters = collector.metrics.to_dict()["counters"]
+        kept = counters.get("obs.sampling.kept", 0)
+        dropped = counters.get("obs.sampling.dropped", 0)
+        assert kept + dropped == 100
+        assert counters.get("obs.sampling.kept.head-sample", 0) == kept

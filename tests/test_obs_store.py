@@ -1,0 +1,188 @@
+"""The wide-event store: where/agg parsing, grouping, ranking, capping.
+
+``feam query`` is triage tooling -- its numbers must match what the
+matrix renderer would report, its percentiles are exact order
+statistics (unlike the fixed-bucket histograms), and its output is
+stable across runs (deterministic tie-breaks, explicit truncation).
+"""
+
+import pytest
+
+from repro.obs.store import (
+    Aggregation,
+    WhereClause,
+    parse_agg,
+    parse_where,
+    render_result,
+    run_query,
+)
+
+
+def _events():
+    records = []
+    for index in range(10):
+        records.append({
+            "site": f"gen-{index:04d}",
+            "binary": "app-0",
+            "outcome": "unknown" if index < 3 else "ready",
+            "faulted": index == 0,
+            "wall_seconds": (index + 1) / 100.0,  # 0.01 .. 0.10
+        })
+    return records
+
+
+class TestParseWhere:
+    def test_equality(self):
+        clause = parse_where("outcome=unknown")
+        assert clause == WhereClause("outcome", "=", "unknown")
+
+    def test_all_operators(self):
+        for op in ("=", "!=", ">", ">=", "<", "<="):
+            assert parse_where(f"wall_seconds{op}0.5").op == op
+
+    def test_value_keeps_internal_equals(self):
+        assert parse_where("detail=a=b").value == "a=b"
+
+    def test_unparsable_raises(self):
+        with pytest.raises(ValueError, match="unparsable --where"):
+            parse_where("outcome")
+
+    def test_equality_is_case_insensitive(self):
+        clause = parse_where("outcome=UNKNOWN")
+        assert clause.matches({"outcome": "unknown"})
+
+    def test_equality_is_numeric_aware(self):
+        assert parse_where("steals=0").matches({"steals": 0})
+        assert parse_where("wall_seconds=0.5").matches(
+            {"wall_seconds": 0.5})
+
+    def test_equality_is_bool_and_none_aware(self):
+        assert parse_where("faulted=true").matches({"faulted": True})
+        assert parse_where("faulted=0").matches({"faulted": False})
+        assert parse_where("fault_kind=none").matches({"fault_kind": None})
+        assert not parse_where("fault_kind=none").matches(
+            {"fault_kind": "io"})
+
+    def test_ordered_ops_skip_non_numeric_fields(self):
+        clause = parse_where("outcome>0.5")
+        assert not clause.matches({"outcome": "ready"})
+        assert not clause.matches({})  # absent field never matches
+
+    def test_ordered_ops_compare_numerically(self):
+        clause = parse_where("wall_seconds>=0.05")
+        assert clause.matches({"wall_seconds": 0.05})
+        assert not clause.matches({"wall_seconds": 0.049})
+
+
+class TestParseAgg:
+    def test_count_and_field_aggs(self):
+        assert parse_agg("count") == Aggregation("count", None)
+        assert parse_agg("p95:wall_seconds") == \
+            Aggregation("p95", "wall_seconds")
+
+    def test_count_takes_no_field(self):
+        with pytest.raises(ValueError, match="count takes no field"):
+            parse_agg("count:site")
+
+    def test_field_aggs_need_a_field(self):
+        with pytest.raises(ValueError, match="needs a field"):
+            parse_agg("p95")
+
+    def test_unknown_fn_raises(self):
+        with pytest.raises(ValueError, match="unparsable --agg"):
+            parse_agg("median:wall_seconds")
+
+    def test_exact_percentiles(self):
+        records = [{"v": float(i)} for i in range(1, 101)]  # 1..100
+        assert Aggregation("p50", "v").compute(records) == 50.0
+        assert Aggregation("p95", "v").compute(records) == 95.0
+        assert Aggregation("p99", "v").compute(records) == 99.0
+        assert Aggregation("min", "v").compute(records) == 1.0
+        assert Aggregation("max", "v").compute(records) == 100.0
+        assert Aggregation("mean", "v").compute(records) == 50.5
+        assert Aggregation("sum", "v").compute(records) == 5050.0
+
+    def test_non_numeric_values_are_skipped(self):
+        records = [{"v": "text"}, {"v": 2.0}, {}]
+        assert Aggregation("mean", "v").compute(records) == 2.0
+        assert Aggregation("mean", "v").compute([{"v": "x"}]) is None
+
+
+class TestRunQuery:
+    def test_default_agg_is_count(self):
+        result = run_query(_events(), by="outcome")
+        assert [agg.name for agg in result.aggs] == ["count"]
+        counts = {group: values["count"]
+                  for group, values, _size in result.rows}
+        assert counts == {"ready": 7.0, "unknown": 3.0}
+
+    def test_where_filters_before_grouping(self):
+        result = run_query(_events(),
+                           where=[parse_where("outcome=unknown")],
+                           by="site")
+        assert result.total == 10
+        assert result.matched == 3
+        assert [group for group, _, _ in result.rows] == \
+            ["gen-0000", "gen-0001", "gen-0002"]
+
+    def test_no_group_by_is_one_global_group(self):
+        result = run_query(_events(),
+                           aggs=[parse_agg("p95:wall_seconds")])
+        assert len(result.rows) == 1
+        group, values, size = result.rows[0]
+        assert group == "*" and size == 10
+        assert values["p95:wall_seconds"] == pytest.approx(0.10)
+
+    def test_absent_group_key_buckets_together(self):
+        records = _events() + [{"outcome": "ready"}]  # no "site" field
+        result = run_query(records, by="site", top=50)
+        assert any(group == "(absent)" for group, _, _ in result.rows)
+
+    def test_rows_rank_by_first_agg_desc_with_stable_ties(self):
+        result = run_query(_events(), by="site", top=50)
+        # Every site has count 1 -> ties broken by group value.
+        assert [group for group, _, _ in result.rows] == \
+            sorted(f"gen-{i:04d}" for i in range(10))
+
+    def test_top_caps_rows_and_counts_truncation(self):
+        result = run_query(_events(), by="site", top=4)
+        assert len(result.rows) == 4
+        assert result.truncated == 6
+
+    def test_empty_match_yields_no_rows(self):
+        result = run_query(_events(),
+                           where=[parse_where("outcome=nope")])
+        assert result.matched == 0 and result.rows == []
+
+    def test_to_dict_shape(self):
+        payload = run_query(_events(), by="outcome",
+                            aggs=[parse_agg("count"),
+                                  parse_agg("mean:wall_seconds")]).to_dict()
+        assert payload["total"] == 10
+        assert payload["by"] == "outcome"
+        assert payload["aggregations"] == ["count", "mean:wall_seconds"]
+        top_row = payload["rows"][0]
+        assert top_row["group"] == "ready"
+        assert top_row["records"] == 7
+        assert top_row["count"] == 7.0
+        assert payload["truncated_rows"] == 0
+
+
+class TestRender:
+    def test_header_and_footer(self):
+        where = [parse_where("outcome=ready")]
+        result = run_query(_events(), where=where, by="site", top=3)
+        text = render_result(result, where=where)
+        assert text.startswith("wide events: 7/10 match [outcome=ready]")
+        assert "... and 4 more row(s) (raise --top to see them)" in text
+
+    def test_no_matches_message(self):
+        where = [parse_where("outcome=nope")]
+        text = render_result(run_query(_events(), where=where),
+                             where=where)
+        assert "(no matching events)" in text
+
+    def test_no_footer_when_nothing_truncated(self):
+        text = render_result(run_query(_events(), by="outcome"))
+        assert "more row(s)" not in text
+        assert "[all]" in text
