@@ -3,7 +3,16 @@
 PYTHON ?= python3
 
 .PHONY: install test ci bench bench-matrix perf-gate fleet-gate \
-	telemetry-gate chaos serve slo trace tables report examples clean
+	telemetry-gate history-gate chaos serve slo trace tables report \
+	examples clean
+
+# Run-ledger directory used by the history gate (wiped per run).
+HISTORY_LEDGER ?= .ci-runs
+# Sim ratios are deterministic per seed: two identical matrix runs
+# compare at exactly x1.00, and the flaky chaos profile at seed 7 with
+# 2 binaries lands at x1.06, so 1.03 separates them with margin on
+# both sides.  Wall-clock rows never gate (see repro.obs.compare.gate).
+HISTORY_FAIL_ABOVE ?= 1.03
 
 # Wall-time budget (seconds) for the 1,000-site fleet evaluation.
 FLEET_BUDGET ?= 60
@@ -35,6 +44,25 @@ fleet-gate:
 telemetry-gate:
 	PYTHONPATH=src $(PYTHON) benchmarks/telemetry_gate.py \
 		--fleet fleet:n=1000,seed=7 --binaries 4
+
+# Two fresh-process matrix runs must land two ledger entries and
+# compare clean; the flaky chaos run must then trip the same gate.
+history-gate:
+	rm -rf $(HISTORY_LEDGER)
+	PYTHONPATH=src $(PYTHON) -m repro feam matrix --seed 7 \
+		--binaries 2 --ledger $(HISTORY_LEDGER) > /dev/null
+	PYTHONPATH=src $(PYTHON) -m repro feam matrix --seed 7 \
+		--binaries 2 --ledger $(HISTORY_LEDGER) > /dev/null
+	PYTHONPATH=src $(PYTHON) -m repro feam runs --ledger $(HISTORY_LEDGER)
+	PYTHONPATH=src $(PYTHON) -m repro feam compare -2 -1 \
+		--ledger $(HISTORY_LEDGER) --fail-above $(HISTORY_FAIL_ABOVE)
+	PYTHONPATH=src $(PYTHON) -m repro feam drift --ledger $(HISTORY_LEDGER)
+	PYTHONPATH=src $(PYTHON) -m repro feam chaos --profile flaky \
+		--seed 7 --binaries 2 --ledger $(HISTORY_LEDGER) > /dev/null
+	PYTHONPATH=src $(PYTHON) -m repro feam compare -2 -1 \
+		--ledger $(HISTORY_LEDGER) \
+		--fail-above $(HISTORY_FAIL_ABOVE); \
+	test $$? -eq 3
 
 chaos:
 	PYTHONPATH=src $(PYTHON) -m repro feam chaos \

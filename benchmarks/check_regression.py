@@ -21,6 +21,10 @@ failure (1) or an SLO violation (2):
 Optionally (``--trace trace.jsonl --profile-out flame.json``) it also
 aggregates a trace into a flame profile artifact via
 :mod:`repro.obs.analyze`, for CI to upload next to the SLO report.
+With ``--ledger DIR`` a tripped gate additionally prints a ``feam
+compare``-style report over the two newest bench runs in that run
+ledger, so the failure comes with attribution instead of bare ratios
+(requires ``PYTHONPATH=src``, like ``--trace``).
 
 Usage::
 
@@ -112,6 +116,27 @@ def compare(baseline: dict, current: dict,
     return failures, notes
 
 
+def attribute_from_ledger(ledger_dir: str) -> str | None:
+    """Compare the two newest bench runs in the ledger, for triage.
+
+    Returns the rendered ``feam compare``-style report, or ``None``
+    when the ledger holds fewer than two bench-kind runs (or cannot be
+    read).  Purely advisory: the gate verdict above stands either way.
+    """
+    from repro.obs.compare import compare_runs, render_comparison
+    from repro.obs.ledger import RunLedger
+
+    try:
+        runs = RunLedger(ledger_dir).runs()
+    except (OSError, ValueError):
+        return None
+    benches = [run for run in runs
+               if str(run.get("kind", "")).endswith("bench")]
+    if len(benches) < 2:
+        return None
+    return render_comparison(compare_runs(benches[-2], benches[-1]))
+
+
 def emit_profile(trace_path: str, out_path: str) -> None:
     """Aggregate *trace_path* into a flame-profile JSON artifact."""
     from repro.obs.analyze import profile, spans_from_jsonl_file
@@ -141,6 +166,10 @@ def main(argv: list[str] | None = None) -> int:
                         metavar="FILE.json",
                         help="where --trace writes the profile "
                              "(default: flame_profile.json)")
+    parser.add_argument("--ledger", metavar="DIR", default=None,
+                        help="on regression, also print a comparison "
+                             "of the two newest bench runs in this "
+                             "run-ledger directory for attribution")
     args = parser.parse_args(argv)
 
     try:
@@ -173,6 +202,12 @@ def main(argv: list[str] | None = None) -> int:
               f"(tolerance {args.tolerance:.0%}):", file=sys.stderr)
         for line in failures:
             print(f"  {line}", file=sys.stderr)
+        if args.ledger:
+            attribution = attribute_from_ledger(args.ledger)
+            if attribution:
+                print("\nattribution (two newest bench runs in "
+                      f"{args.ledger}):", file=sys.stderr)
+                print(attribution, file=sys.stderr)
         return EXIT_REGRESSION
     print(f"perf gate ok vs {args.baseline} "
           f"(tolerance {args.tolerance:.0%})")

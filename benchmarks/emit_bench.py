@@ -29,18 +29,22 @@ the committed ``benchmarks/BENCH_baseline.json``) and by humans
 eyeballing cache efficacy.  Each run also appends one timestamped line
 to the tracked ``benchmarks/BENCH_history.jsonl``, so the perf
 trajectory is visible across PRs instead of evaporating with the
-working tree.
+working tree, and records a ``"kind": "bench"`` / ``"fleet-bench"``
+manifest into the run ledger (``feam runs`` / ``feam drift`` consume
+it; ``--no-ledger`` opts out, ``--ledger DIR`` redirects it).
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 
 from repro import obs
 from repro.core.engine import EngineBinary, EvaluationEngine
+from repro.obs import ledger as ledger_mod
 from repro.sites.catalog import build_paper_sites
 from repro.sites.generator import describe_fleet, resolve_sites
 from repro.toolchain.compilers import Language
@@ -115,6 +119,34 @@ def append_fleet_history(payload: dict, history_path: str) -> dict:
     return entry
 
 
+def record_ledger(payload: dict, kind: str,
+                  ledger_dir: str | None = None) -> dict | None:
+    """Record one bench run into the run ledger (best effort).
+
+    The flat JSON history files stay for back-compat; the ledger entry
+    is what ``feam runs`` / ``feam drift`` consume.  A failure to write
+    must never fail the benchmark itself.
+    """
+    directory = (ledger_dir or os.environ.get("FEAM_LEDGER_DIR")
+                 or ledger_mod.DEFAULT_DIR)
+    manifest = {
+        "kind": kind,
+        "seed": payload.get("seed"),
+        "sites_spec": payload.get("spec"),
+        "bench": {key: value for key, value in payload.items()
+                  if key not in ("kind", "seed", "spec")},
+    }
+    try:
+        written = ledger_mod.RunLedger(directory).record(manifest)
+    except OSError as exc:
+        print(f"warning: could not record bench run in ledger "
+              f"{directory!r}: {exc}", file=sys.stderr)
+        return None
+    print(f"ledger: run {written['run_id']} ({kind}) recorded",
+          file=sys.stderr)
+    return written
+
+
 def _timed_matrix(engine, binaries, sites) -> float:
     start = time.perf_counter()
     engine.evaluate_matrix(binaries, sites)
@@ -122,7 +154,9 @@ def _timed_matrix(engine, binaries, sites) -> float:
 
 
 def run(out_path: str = "BENCH_matrix.json",
-        history_path: str | None = None) -> dict:
+        history_path: str | None = None,
+        ledger_dir: str | None = None,
+        ledger: bool = True) -> dict:
     sites, binaries = _build_inputs()
 
     engine = EvaluationEngine()
@@ -182,6 +216,8 @@ def run(out_path: str = "BENCH_matrix.json",
         handle.write("\n")
     if history_path:
         append_history(payload, history_path)
+    if ledger:
+        record_ledger(payload, "bench", ledger_dir)
     print(f"cold {cold:.3f}s  warm {warm:.3f}s  "
           f"traced {traced:.3f}s (vs reference {reference:.3f}s)"
           f"  -> {out_path}"
@@ -191,7 +227,9 @@ def run(out_path: str = "BENCH_matrix.json",
 
 def run_fleet(spec: str, out_path: str = "BENCH_fleet.json",
               history_path: str | None = None,
-              count: int = BINARIES) -> dict:
+              count: int = BINARIES,
+              ledger_dir: str | None = None,
+              ledger: bool = True) -> dict:
     """Benchmark a generated fleet: build time, eval time, cells/sec."""
     start = time.perf_counter()
     sites = resolve_sites(spec, default_seed=SEED)
@@ -241,6 +279,8 @@ def run_fleet(spec: str, out_path: str = "BENCH_fleet.json",
         handle.write("\n")
     if history_path:
         append_fleet_history(payload, history_path)
+    if ledger:
+        record_ledger(payload, "fleet-bench", ledger_dir)
     print(f"fleet {spec}: {cells} cells in {elapsed:.1f}s "
           f"({payload['cells_per_second']} cells/s, "
           f"{payload['cell_microseconds']} us/cell, "
@@ -265,12 +305,19 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--budget-seconds", type=float, default=None,
                         help="fleet gate: exit 3 when evaluation wall "
                              "time exceeds this budget")
+    parser.add_argument("--ledger", metavar="DIR", default=None,
+                        help="run-ledger directory (default: "
+                             "$FEAM_LEDGER_DIR or .feam/runs)")
+    parser.add_argument("--no-ledger", action="store_true",
+                        help="skip recording this run in the ledger")
     args = parser.parse_args(argv)
 
     if args.fleet:
         payload = run_fleet(args.fleet,
                             args.out or "BENCH_fleet.json",
-                            args.history)
+                            args.history,
+                            ledger_dir=args.ledger,
+                            ledger=not args.no_ledger)
         if payload["degraded_cells"]:
             print(f"FLEET GATE: {payload['degraded_cells']} degraded "
                   "cell(s) in a run with no fault plan installed",
@@ -283,7 +330,8 @@ def main(argv: list[str] | None = None) -> int:
                   f"> budget {args.budget_seconds:.1f}s", file=sys.stderr)
             return EXIT_REGRESSION
         return EXIT_OK
-    run(args.out or "BENCH_matrix.json", args.history)
+    run(args.out or "BENCH_matrix.json", args.history,
+        ledger_dir=args.ledger, ledger=not args.no_ledger)
     return EXIT_OK
 
 

@@ -14,7 +14,11 @@ sink, tail-based span sampler) -- and asserts the overlay's contract:
 3. **overhead** -- the telemetry run's wall time stays within
    ``--overhead-tolerance`` of the bare reference;
 4. **consistency** -- a ``feam query``-equivalent aggregation over the
-   wide events reproduces the matrix's own per-outcome cell counts.
+   wide events reproduces the matrix's own per-outcome cell counts;
+5. **ledger overhead** -- recording the run manifest into the run
+   ledger (which every ``feam matrix`` now does) must cost less than
+   ``--ledger-budget-seconds``: the durable history may not tax the
+   hot path.
 
 Artifacts: the raw ``wide_events.jsonl`` stream and a
 ``telemetry_gate.json`` payload embedding the query summary, both
@@ -32,7 +36,8 @@ import os
 import time
 
 from repro import obs
-from repro.core.engine import EngineBinary, EvaluationEngine
+from repro.core.engine import EngineBinary, EvaluationEngine, run_rollup
+from repro.obs import ledger as ledger_mod
 from repro.obs.sampling import SamplingPolicy
 from repro.obs.store import Aggregation, WhereClause, run_query
 from repro.obs.wide import WideEventSink, read_jsonl
@@ -65,7 +70,8 @@ def _compile_binaries(sites, count: int):
 def run_gate(spec: str, binaries_count: int, head_n: int,
              wide_out: str, report_out: str,
              span_budget: int | None,
-             overhead_tolerance: float) -> int:
+             overhead_tolerance: float,
+             ledger_budget_seconds: float = 0.25) -> int:
     sites = resolve_sites(spec, default_seed=SEED)
     binaries = _compile_binaries(sites, binaries_count)
     failures: list[str] = []
@@ -152,6 +158,33 @@ def run_gate(spec: str, binaries_count: int, head_n: int,
     overhead = (telemetry / reference - 1.0) if reference > 0 else 0.0
     blown = overhead > overhead_tolerance
 
+    # 5. Ledger write overhead: distilling the rollup and appending the
+    # manifest is what every `feam matrix` run now pays; it must stay a
+    # rounding error next to the matrix itself.
+    directory = (os.environ.get("FEAM_LEDGER_DIR")
+                 or ledger_mod.DEFAULT_DIR)
+    manifest = {
+        "kind": "telemetry-gate",
+        "seed": SEED,
+        "sites_spec": spec,
+        "binaries": len(binaries),
+    }
+    start = time.perf_counter()
+    manifest.update(run_rollup(result,
+                               snapshot=collector.metrics.to_dict(),
+                               wide_events=events))
+    try:
+        ledger_mod.RunLedger(directory).record(manifest)
+        ledger_write = time.perf_counter() - start
+    except OSError as exc:
+        ledger_write = None
+        failures.append(f"ledger: could not record run in "
+                        f"{directory!r}: {exc}")
+    if ledger_write is not None and ledger_write > ledger_budget_seconds:
+        failures.append(f"ledger: rollup + record took "
+                        f"{ledger_write:.3f}s > budget "
+                        f"{ledger_budget_seconds:.3f}s")
+
     payload = {
         "spec": spec,
         "seed": SEED,
@@ -171,6 +204,9 @@ def run_gate(spec: str, binaries_count: int, head_n: int,
         "telemetry_seconds": round(telemetry, 4),
         "overhead": round(overhead, 4),
         "overhead_tolerance": overhead_tolerance,
+        "ledger_write_seconds": (round(ledger_write, 4)
+                                 if ledger_write is not None else None),
+        "ledger_budget_seconds": ledger_budget_seconds,
         "reference_cells": len(reference_result.cells),
         "query_summary": {
             "by_outcome": by_outcome.to_dict(),
@@ -182,10 +218,13 @@ def run_gate(spec: str, binaries_count: int, head_n: int,
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")
 
+    ledger_note = (f"{ledger_write:.3f}s" if ledger_write is not None
+                   else "failed")
     print(f"telemetry gate: {cells} cells, {len(events)} wide events, "
           f"kept {kept}/{cells} span tree(s) (budget {budget}), "
           f"overhead {overhead:+.1%} (tolerance "
-          f"{overhead_tolerance:.0%})  -> {report_out}")
+          f"{overhead_tolerance:.0%}), ledger write {ledger_note}"
+          f"  -> {report_out}")
     for failure in failures:
         print(f"TELEMETRY GATE: {failure}")
     if failures:
@@ -218,10 +257,16 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--overhead-tolerance", type=float, default=0.5,
                         help="max telemetry overhead vs the bare "
                              "reference run (default: 0.5 = +50%%)")
+    parser.add_argument("--ledger-budget-seconds", type=float,
+                        default=0.25,
+                        help="max wall seconds for distilling and "
+                             "recording the run-ledger manifest "
+                             "(default: 0.25)")
     args = parser.parse_args(argv)
     return run_gate(args.fleet, args.binaries, args.head_n,
                     args.wide_out, args.report_out, args.span_budget,
-                    args.overhead_tolerance)
+                    args.overhead_tolerance,
+                    args.ledger_budget_seconds)
 
 
 if __name__ == "__main__":

@@ -53,7 +53,21 @@ artifacts:
   when stdout is not a TTY);
 * ``feam query`` -- filter/aggregate a wide-event JSONL file written
   by ``feam matrix --wide-out`` (``--where outcome=unknown --by site
-  --top 20``, percentile aggregations like ``--agg p95:wall_seconds``).
+  --top 20``, percentile aggregations like ``--agg p95:wall_seconds``);
+* ``feam runs`` -- list/inspect the run ledger
+  (:mod:`repro.obs.ledger`): every ``feam matrix`` / ``feam chaos`` /
+  benchmark invocation records one schema-versioned manifest into
+  ``.feam/runs/`` (``--where``/``--top`` filter the listing; ``feam
+  runs show REF`` prints one manifest; ``feam runs import FILE``
+  migrates a legacy ``BENCH_history.jsonl``);
+* ``feam compare A B`` -- cross-run regression attribution between two
+  ledger manifests: outcome-flip table, per-determinant and per-phase
+  latency ratios (added/removed semantics like ``diff-trace``), cache
+  hit-rate and retry drift; ``--fail-above`` exits 3 on any ratio
+  above the gate;
+* ``feam drift`` -- the newest run against a rolling baseline of the
+  last N runs of its kind, flagging metric excursions; ``--rules``
+  additionally applies SLO rules (exit 2 on violation).
 
 ``feam`` subcommands use distinct exit codes so CI can tell failure
 modes apart: 1 = operational error (bad input, unknown site), 2 = SLO
@@ -162,6 +176,7 @@ def feam_main(argv: Optional[list[str]] = None) -> int:
              "evaluate only the rest; new cells are appended back "
              "to it unless --journal names another file")
     _add_telemetry_args(matrix)
+    _add_ledger_args(matrix)
 
     chaos = sub.add_parser(
         "chaos",
@@ -204,6 +219,7 @@ def feam_main(argv: Optional[list[str]] = None) -> int:
         "--summary-out", metavar="FILE.json", default=None,
         help="also write the fault/retry/breaker summary as JSON")
     _add_telemetry_args(chaos)
+    _add_ledger_args(chaos)
 
     trace = sub.add_parser(
         "trace",
@@ -353,6 +369,10 @@ def feam_main(argv: Optional[list[str]] = None) -> int:
                        help="also run source phases")
     serve.add_argument("--workers", type=int, default=None,
                        help="thread-pool size")
+    serve.add_argument(
+        "--ledger", metavar="DIR", default=None,
+        help="run-ledger directory for the /runs endpoint (default: "
+             "$FEAM_LEDGER_DIR, then the ledger_dir config key)")
 
     watch = sub.add_parser(
         "watch",
@@ -411,6 +431,78 @@ def feam_main(argv: Optional[list[str]] = None) -> int:
         "--json", action="store_true",
         help="emit the result as JSON instead of a table")
 
+    runs = sub.add_parser(
+        "runs",
+        help="list/inspect the run ledger: 'feam runs' lists, 'feam "
+             "runs show REF' prints one manifest, 'feam runs import "
+             "FILE' migrates a legacy BENCH_history.jsonl")
+    runs.add_argument(
+        "action", nargs="*", metavar="ACTION",
+        help="'list' (default), 'show REF' (run id, unique prefix, "
+             "'latest' or a negative index like -2), or 'import FILE'")
+    runs.add_argument(
+        "--ledger", metavar="DIR", default=None,
+        help="ledger directory (default: $FEAM_LEDGER_DIR, then the "
+             "ledger_dir config key, .feam/runs)")
+    runs.add_argument(
+        "--where", action="append", default=[], metavar="CLAUSE",
+        help="filter clause over the flattened manifest, repeatable: "
+             "kind=chaos, rollup.cells>=20, seed!=7")
+    runs.add_argument(
+        "--top", type=int, default=20,
+        help="most recent runs listed (default: 20)")
+    runs.add_argument(
+        "--json", action="store_true",
+        help="emit manifests as JSON instead of a table")
+
+    compare = sub.add_parser(
+        "compare",
+        help="cross-run regression attribution between two ledger "
+             "runs: outcome flips, per-determinant and per-phase "
+             "latency ratios, cache/retry drift; with --fail-above, "
+             "exit 3 when any ratio crosses the gate")
+    compare.add_argument(
+        "base", help="baseline run: id, unique prefix, 'latest' or a "
+                     "negative index like -2")
+    compare.add_argument(
+        "curr", help="current run (same reference forms)")
+    compare.add_argument(
+        "--ledger", metavar="DIR", default=None,
+        help="ledger directory (default: $FEAM_LEDGER_DIR, then the "
+             "ledger_dir config key)")
+    compare.add_argument(
+        "--fail-above", type=float, default=None, metavar="RATIO",
+        help="regression gate: exit 3 when any sim/phase/determinant "
+             "latency ratio exceeds RATIO (e.g. 1.5)")
+    compare.add_argument(
+        "--json", action="store_true",
+        help="emit the comparison as JSON instead of a report")
+
+    drift = sub.add_parser(
+        "drift",
+        help="newest ledger run vs a rolling baseline of the last N "
+             "runs of its kind; flags metric excursions, and with "
+             "--rules applies SLO rules (exit 2 on violation)")
+    drift.add_argument(
+        "--ledger", metavar="DIR", default=None,
+        help="ledger directory (default: $FEAM_LEDGER_DIR, then the "
+             "ledger_dir config key)")
+    drift.add_argument(
+        "--window", type=int, default=10,
+        help="baseline window: earlier runs of the same kind averaged "
+             "into the baseline (default: 10)")
+    drift.add_argument(
+        "--tolerance", type=float, default=0.25,
+        help="fractional excursion tolerance around the baseline mean "
+             "(default: 0.25)")
+    drift.add_argument(
+        "--rules", metavar="FILE", default=None,
+        help="SLO rules file evaluated against the newest manifest's "
+             "flattened metrics (e.g. 'rollup.sim.mean <= 40')")
+    drift.add_argument(
+        "--json", action="store_true",
+        help="emit the drift report as JSON")
+
     args = parser.parse_args(argv)
     if args.command == "matrix":
         return _feam_matrix(args)
@@ -432,6 +524,12 @@ def feam_main(argv: Optional[list[str]] = None) -> int:
         return _feam_watch(args)
     if args.command == "query":
         return _feam_query(args)
+    if args.command == "runs":
+        return _feam_runs(args)
+    if args.command == "compare":
+        return _feam_compare(args)
+    if args.command == "drift":
+        return _feam_drift(args)
     return 2  # pragma: no cover - argparse enforces the choices
 
 
@@ -500,6 +598,76 @@ def _report_telemetry(wide_sink, collector=None) -> None:
         if kept or dropped:
             print(f"span sampling: kept {kept} cell tree(s), dropped "
                   f"{dropped}", file=sys.stderr)
+
+
+def _add_ledger_args(parser) -> None:
+    """The shared ``feam matrix`` / ``feam chaos`` run-ledger flags."""
+    parser.add_argument(
+        "--ledger", metavar="DIR", default=None,
+        help="run-ledger directory this run's manifest is recorded "
+             "into (default: $FEAM_LEDGER_DIR, then the ledger_dir "
+             "config key, .feam/runs)")
+    parser.add_argument(
+        "--no-ledger", action="store_true",
+        help="do not record this run into the ledger")
+
+
+def _ledger_dir(args, config) -> str:
+    """--ledger, then $FEAM_LEDGER_DIR, then the config key."""
+    return (getattr(args, "ledger", None)
+            or os.environ.get("FEAM_LEDGER_DIR")
+            or config.ledger_dir)
+
+
+def _ledger_from_args(args, config):
+    """The run ledger for this invocation, or None with --no-ledger."""
+    from repro.obs.ledger import RunLedger
+
+    if getattr(args, "no_ledger", False):
+        return None
+    return RunLedger(_ledger_dir(args, config),
+                     max_runs=config.ledger_max_runs)
+
+
+def _record_matrix_run(ledger, args, engine, result, collector,
+                       wide_sink, kind: str,
+                       fault_profile: Optional[str] = None) -> None:
+    """Record one finished matrix/chaos run into the ledger.
+
+    Ledger trouble (read-only checkout, full disk) must never fail the
+    run that produced the results: warn on stderr and move on.  All
+    ledger output goes to stderr -- the chaos determinism gate compares
+    stdout byte-for-byte, and run ids carry wall timestamps.
+    """
+    from repro.core.engine import default_matrix_workers, run_rollup
+    from repro.util.hashing import stable_digest
+
+    if ledger is None:
+        return
+    snapshot = collector.metrics.to_dict() if collector is not None \
+        else None
+    wide_events = wide_sink.events() if wide_sink is not None else None
+    manifest = {
+        "kind": kind,
+        "seed": args.seed,
+        "sites_spec": getattr(args, "sites", None) or "paper",
+        "binaries": args.binaries,
+        "workers": (engine.max_workers or engine.config.matrix_workers
+                    or default_matrix_workers()),
+        "cache_shards": engine.config.cache_shards,
+        "config_fingerprint": stable_digest(engine.config.render())[:16],
+        "fault_profile": fault_profile,
+    }
+    manifest.update(run_rollup(result, snapshot=snapshot,
+                               wide_events=wide_events))
+    try:
+        written = ledger.record(manifest)
+    except OSError as exc:
+        print(f"ledger: cannot record run in {ledger.path}: {exc}",
+              file=sys.stderr)
+        return
+    print(f"ledger: run {written['run_id']} recorded in {ledger.path}",
+          file=sys.stderr)
 
 
 def _build_matrix_inputs(args):
@@ -586,24 +754,22 @@ def _feam_matrix(args) -> int:
             journal.close()
         return EXIT_FAILURE
     wide_sink, sampler = telemetry
+    ledger = _ledger_from_args(args, engine.config)
     print(f"evaluating {len(binaries)} binaries x {len(sites)} sites...",
           file=sys.stderr)
-    collector = None
+    # Always run under a collector: the run-ledger rollup distils its
+    # phase latency digests and retry counters from the metrics
+    # snapshot.  Stdout is unchanged, so determinism gates still hold.
     try:
-        if args.trace_out or sampler is not None:
-            with obs.capture() as collector:
-                result = engine.evaluate_matrix(
-                    binaries, sites, bundles=bundles or None,
-                    journal=journal, resume=resume,
-                    wide_sink=wide_sink, sampler=sampler)
-            if args.trace_out:
-                obs.export.write_jsonl(args.trace_out, collector)
-                print(f"trace written to {args.trace_out} "
-                      f"({len(collector.spans)} spans)", file=sys.stderr)
-        else:
+        with obs.capture() as collector:
             result = engine.evaluate_matrix(
                 binaries, sites, bundles=bundles or None,
-                journal=journal, resume=resume, wide_sink=wide_sink)
+                journal=journal, resume=resume,
+                wide_sink=wide_sink, sampler=sampler)
+        if args.trace_out:
+            obs.export.write_jsonl(args.trace_out, collector)
+            print(f"trace written to {args.trace_out} "
+                  f"({len(collector.spans)} spans)", file=sys.stderr)
     finally:
         if journal is not None:
             journal.close()
@@ -614,6 +780,8 @@ def _feam_matrix(args) -> int:
         print(f"journal: {journal.written} cell(s) appended to "
               f"{journal.path}", file=sys.stderr)
     _report_telemetry(wide_sink, collector)
+    _record_matrix_run(ledger, args, engine, result, collector,
+                       wide_sink, kind="matrix")
     return 0
 
 
@@ -707,6 +875,7 @@ def _feam_chaos(args) -> int:
             journal.close()
         return EXIT_FAILURE
     wide_sink, sampler = telemetry
+    ledger = _ledger_from_args(args, engine.config)
     print(f"injecting fault profile {plan.name!r} "
           f"({len(plan.specs)} spec(s), seed {plan.seed}); evaluating "
           f"{len(binaries)} binaries x {len(sites)} sites...",
@@ -736,6 +905,8 @@ def _feam_chaos(args) -> int:
         print(f"journal: {journal.written} cell(s) appended to "
               f"{journal.path}", file=sys.stderr)
     _report_telemetry(wide_sink, collector)
+    _record_matrix_run(ledger, args, engine, result, collector,
+                       wide_sink, kind="chaos", fault_profile=plan.name)
     if args.summary_out:
         with open(args.summary_out, "w", encoding="utf-8") as handle:
             json.dump(summary, handle, indent=2, sort_keys=True)
@@ -971,6 +1142,7 @@ def _feam_watch(args) -> int:
         deadline = (time_mod.monotonic() + args.duration
                     if args.duration is not None else None)
         misses = 0
+        connected = False
         print(f"watching {base}/snapshot every {interval:g}s",
               file=sys.stderr)
         try:
@@ -979,7 +1151,15 @@ def _feam_watch(args) -> int:
                     with urlopen(f"{base}/snapshot", timeout=5) as resp:
                         snap = json_mod.load(resp)
                     misses = 0
+                    connected = True
                 except (OSError, ValueError) as exc:
+                    if not connected:
+                        # Never reached at all: fail immediately with
+                        # one clean line instead of polling a server
+                        # that was wrong to begin with.
+                        print(f"cannot reach {base}: {exc}",
+                              file=sys.stderr)
+                        return EXIT_FAILURE
                     misses += 1
                     if misses >= 3:
                         print(f"lost {base}: {exc}", file=sys.stderr)
@@ -1065,6 +1245,203 @@ def _feam_query(args) -> int:
     return EXIT_OK
 
 
+def _open_ledger(args):
+    """The ledger named by --ledger/$FEAM_LEDGER_DIR/config defaults."""
+    from repro.core.config import FeamConfig
+    from repro.obs.ledger import RunLedger
+
+    config = FeamConfig()
+    return RunLedger(_ledger_dir(args, config),
+                     max_runs=config.ledger_max_runs)
+
+
+def _runs_import(ledger, path: str) -> int:
+    """``feam runs import``: migrate a legacy BENCH_history.jsonl.
+
+    Legacy lines come in two shapes -- matrix-bench (no ``kind``) and
+    ``"kind": "fleet"`` -- and gain ``kind``/``schema`` tags plus a
+    run id derived from the line's content, so re-importing the same
+    file is a no-op (duplicates are skipped, not doubled).
+    """
+    from repro import obs
+    from repro.obs import ledger as ledger_mod
+    from repro.util.jsonl import dump_line, read_jsonl
+
+    try:
+        records = read_jsonl(path)
+    except OSError as exc:
+        print(f"cannot read history {path!r}: {exc}", file=sys.stderr)
+        return EXIT_FAILURE
+    existing = {run.get("run_id") for run in ledger.runs()}
+    imported = skipped = 0
+    for record in records:
+        kind = ("legacy-fleet-bench" if record.get("kind") == "fleet"
+                else "legacy-bench")
+        ts = record.get("ts") or ledger_mod.utc_timestamp()
+        run_id = ledger_mod.make_run_id(ts, "import", dump_line(record))
+        if run_id in existing:
+            skipped += 1
+            continue
+        bench = {key: value for key, value in record.items()
+                 if key not in ("ts", "seed", "kind", "spec")}
+        manifest = {
+            "schema": ledger_mod.SCHEMA_VERSION,
+            "run_id": run_id,
+            "ts": ts,
+            "kind": kind,
+            "seed": record.get("seed"),
+            "sites_spec": record.get("spec"),
+            "bench": bench,
+        }
+        try:
+            ledger.record(manifest)
+        except OSError as exc:
+            print(f"cannot record into {ledger.path}: {exc}",
+                  file=sys.stderr)
+            return EXIT_FAILURE
+        existing.add(run_id)
+        imported += 1
+    obs.counter("ledger.imported").inc(imported)
+    print(f"imported {imported} run(s) from {path} into {ledger.path} "
+          f"({skipped} already present)")
+    return EXIT_OK
+
+
+def _render_runs_table(shown: list, matched: int, total: int,
+                       ledger) -> str:
+    """The ``feam runs`` listing (oldest first, newest last)."""
+    lines = [f"run ledger {ledger.path}: {matched}/{total} run(s) match"]
+    if not shown:
+        lines.append("(no runs)")
+        return "\n".join(lines)
+    rows = []
+    for run in shown:
+        rollup = run.get("rollup") or {}
+        outcomes = rollup.get("outcomes") or {}
+        cells = rollup.get("cells")
+        summary = (f"{outcomes.get('ready', 0)}r/"
+                   f"{outcomes.get('unknown', 0)}u/"
+                   f"{outcomes.get('no', 0)}n" if outcomes else "-")
+        sim = (rollup.get("sim") or {}).get("mean")
+        rows.append((str(run.get("run_id", "?")),
+                     str(run.get("kind", "?")),
+                     str(run.get("ts", "?")),
+                     str(run.get("seed", "-")),
+                     "-" if cells is None else str(cells),
+                     summary,
+                     "-" if sim is None else f"{sim:.4g}"))
+    headers = ("run_id", "kind", "ts", "seed", "cells", "outcomes",
+               "sim_mean")
+    widths = [max(len(headers[i]), max(len(row[i]) for row in rows))
+              for i in range(len(headers))]
+    lines.append("  ".join(h.ljust(widths[i])
+                           for i, h in enumerate(headers)))
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[i])
+                               for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _feam_runs(args) -> int:
+    import json as json_mod
+
+    from repro.obs import ledger as ledger_mod
+    from repro.obs import store as store_mod
+
+    ledger = _open_ledger(args)
+    tokens = list(args.action)
+    action = tokens[0] if tokens else "list"
+    if action == "import":
+        if len(tokens) != 2:
+            print("usage: feam runs import FILE", file=sys.stderr)
+            return EXIT_FAILURE
+        return _runs_import(ledger, tokens[1])
+    if action == "show":
+        if len(tokens) != 2:
+            print("usage: feam runs show REF", file=sys.stderr)
+            return EXIT_FAILURE
+        try:
+            run = ledger.resolve(tokens[1])
+        except (OSError, ValueError) as exc:
+            print(str(exc), file=sys.stderr)
+            return EXIT_FAILURE
+        print(json_mod.dumps(run, indent=2, sort_keys=True))
+        return EXIT_OK
+    if action != "list" or len(tokens) > 1:
+        print(f"unknown feam runs action {tokens!r} (expected 'list', "
+              f"'show REF' or 'import FILE')", file=sys.stderr)
+        return EXIT_FAILURE
+    try:
+        where = [store_mod.parse_where(clause) for clause in args.where]
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return EXIT_FAILURE
+    runs = ledger.runs()
+    # --where reuses the wide-event predicate machinery over the
+    # flattened manifest (kind=chaos, rollup.cells>=20, ...).
+    matched = [run for run in runs
+               if all(clause.matches(ledger_mod.flatten(run))
+                      for clause in where)]
+    shown = matched[-max(1, args.top):]
+    if args.json:
+        print(json_mod.dumps(shown, indent=2, sort_keys=True))
+    else:
+        print(_render_runs_table(shown, len(matched), len(runs), ledger))
+    return EXIT_OK
+
+
+def _feam_compare(args) -> int:
+    import json as json_mod
+
+    from repro.obs import compare as compare_mod
+
+    ledger = _open_ledger(args)
+    try:
+        base = ledger.resolve(args.base)
+        curr = ledger.resolve(args.curr)
+    except (OSError, ValueError) as exc:
+        print(str(exc), file=sys.stderr)
+        return EXIT_FAILURE
+    comparison = compare_mod.compare_runs(base, curr)
+    regressions = (compare_mod.gate(comparison, args.fail_above)
+                   if args.fail_above is not None else [])
+    if args.json:
+        payload = dict(comparison)
+        if args.fail_above is not None:
+            payload["fail_above"] = args.fail_above
+            payload["regressions"] = regressions
+        print(json_mod.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(compare_mod.render_comparison(
+            comparison, fail_above=args.fail_above))
+    return EXIT_REGRESSION if regressions else EXIT_OK
+
+
+def _feam_drift(args) -> int:
+    import json as json_mod
+
+    from repro.obs import compare as compare_mod
+
+    ledger = _open_ledger(args)
+    rules = ()
+    if args.rules is not None:
+        rules = _load_slo_rules(args.rules)
+        if rules is None:
+            return EXIT_FAILURE
+    try:
+        report = compare_mod.drift(
+            ledger.runs(), window=args.window,
+            tolerance=args.tolerance, rules=rules)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return EXIT_FAILURE
+    if args.json:
+        print(json_mod.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(compare_mod.render_drift(report))
+    return EXIT_OK if report["slo_ok"] else EXIT_SLO_VIOLATION
+
+
 def _feam_serve(args) -> int:
     import time as time_mod
 
@@ -1079,17 +1456,19 @@ def _feam_serve(args) -> int:
     if inputs is None:
         return EXIT_FAILURE
     sites, engine, binaries, bundles = inputs
+    ledger = _ledger_from_args(args, engine.config)
     with obs.capture() as collector:
         try:
             server = TelemetryServer(collector, host=args.host,
-                                     port=args.port, rules=rules)
+                                     port=args.port, rules=rules,
+                                     ledger=ledger)
         except OSError as exc:
             print(f"cannot bind {args.host}:{args.port}: {exc}",
                   file=sys.stderr)
             return EXIT_FAILURE
         with server:
             print(f"serving {server.url}/metrics (+ /healthz /trace "
-                  f"/slo /snapshot)", file=sys.stderr)
+                  f"/slo /snapshot /runs)", file=sys.stderr)
             print(f"evaluating {len(binaries)} binaries x {len(sites)} "
                   f"sites, {max(1, args.rounds)} round(s)...",
                   file=sys.stderr)

@@ -78,6 +78,11 @@ class FeamConfig:
     #: Telemetry: span trees of cells slower than this (wall seconds)
     #: are always kept (matches the default cell-latency p95 SLO).
     sampling_latency_slo_seconds: float = 2.0
+    #: Run ledger: warehouse directory (``FEAM_LEDGER_DIR`` and the
+    #: ``--ledger`` flag override it; ``--no-ledger`` disables writes).
+    ledger_dir: str = ".feam/runs"
+    #: Run ledger: manifests kept before oldest-run eviction.
+    ledger_max_runs: int = 512
 
     def mpiexec_for(self, mpi_type: Optional[str]) -> str:
         """The launch command for an MPI type (Section V.C default)."""
@@ -98,8 +103,9 @@ class FeamConfig:
         ``breaker_*``, ``cell_deadline_seconds``), the engine pool keys
         (``matrix_workers``, ``cache_shards``), the telemetry keys
         (``wide_ring_size``, ``sampling_head_n``,
-        ``sampling_latency_slo_seconds``), and ``mpiexec.<MPI type>``
-        overrides.
+        ``sampling_latency_slo_seconds``), the run-ledger keys
+        (``ledger_dir``, ``ledger_max_runs``), and
+        ``mpiexec.<MPI type>`` overrides.
         """
         kwargs: dict = {}
         overrides: dict[str, str] = {}
@@ -114,13 +120,13 @@ class FeamConfig:
             if key.startswith("mpiexec."):
                 overrides[key[len("mpiexec."):]] = value
             elif key in ("serial_queue", "parallel_queue",
-                         "staging_root", "output_root"):
+                         "staging_root", "output_root", "ledger_dir"):
                 kwargs[key] = value
             elif key in ("hello_nprocs", "max_resolution_depth",
                          "retry_max_attempts", "breaker_failure_threshold",
                          "breaker_probe_after", "matrix_workers",
                          "cache_shards", "wide_ring_size",
-                         "sampling_head_n"):
+                         "sampling_head_n", "ledger_max_runs"):
                 kwargs[key] = int(value)
             elif key in ("feam_base_seconds", "feam_seconds_per_dependency",
                          "stack_assessment_seconds", "library_check_seconds",
@@ -167,6 +173,8 @@ class FeamConfig:
             f"sampling_head_n = {self.sampling_head_n}",
             f"sampling_latency_slo_seconds = "
             f"{self.sampling_latency_slo_seconds}",
+            f"ledger_dir = {self.ledger_dir}",
+            f"ledger_max_runs = {self.ledger_max_runs}",
         ]
         for mpi_type, command in sorted(self.mpiexec_overrides.items()):
             lines.append(f"mpiexec.{mpi_type} = {command}")

@@ -90,6 +90,7 @@ from repro.core.resilience import (
     with_retries,
 )
 from repro.core.sharding import HitMissCounter, ShardedMap
+from repro.obs import ledger as ledger_mod
 from repro.obs import wide as wide_mod
 from repro.sysmodel import faults
 from repro.util.hashing import content_digest, stable_digest
@@ -237,6 +238,109 @@ def wide_record(cell: "MatrixCell", *, worker: str = "worker-0",
         record["spans_kept"] = bool(sample.keep)
         record["sample_reason"] = sample.reason
     return record
+
+
+#: Metrics snapshot histograms distilled into the manifest's per-phase
+#: latency digests (manifest phase name -> histogram instrument).
+_PHASE_HISTOGRAMS = {
+    "discover": "engine.discover.seconds",
+    "describe": "engine.describe.seconds",
+    "cell.wall": "engine.cell.wall_seconds",
+    "cell.sim": "engine.cell.sim_seconds",
+    "worker": "engine.site.worker_seconds",
+}
+
+#: Above this many cells the manifest stops carrying the per-cell
+#: outcome map (``feam compare`` then falls back to count deltas) --
+#: a 100k-cell fleet run must not write a 100k-entry manifest line.
+CELL_OUTCOME_CAP = 1024
+
+
+def run_rollup(result: "MatrixResult",
+               snapshot: Optional[dict] = None,
+               wide_events: Optional[Sequence[dict]] = None) -> dict:
+    """Distil one finished matrix into the ledger manifest's results.
+
+    The engine half of the run-ledger layer (``repro.obs`` cannot know
+    what a matrix cell is, mirroring :func:`wide_record`): cells,
+    outcome/cache/retry counts, per-determinant implicated-cell
+    latency digests, and per-phase latency digests pulled from a
+    ``MetricsRegistry.to_dict`` *snapshot* and the run's *wide_events*.
+    Returns ``{"rollup": ..., "phases": ...}`` ready to merge into a
+    :class:`repro.obs.ledger.RunLedger` manifest.
+    """
+    cells = result.cells
+    outcomes: dict[str, int] = {}
+    for cell in cells:
+        word = cell.outcome_word
+        outcomes[word] = outcomes.get(word, 0) + 1
+
+    # Wall seconds per cell come from the wide events (the journal
+    # record is wall-free by design); sim seconds from the cells.
+    wall_by_cell: dict[str, float] = {}
+    for event in wide_events or ():
+        wall = event.get("wall_seconds")
+        if isinstance(wall, (int, float)):
+            key = f"{event.get('binary')}@{event.get('site')}"
+            wall_by_cell[key] = float(wall)
+
+    # Per-determinant rollup: outcome counts over every cell the
+    # determinant ran in, latency digests over the cells it was
+    # *implicated* in (did not pass) -- that is where an injected
+    # slowdown shows up as a row, not spread over the whole matrix.
+    det_outcomes: dict[str, dict[str, int]] = {}
+    det_sim: dict[str, list[float]] = {}
+    det_wall: dict[str, list[float]] = {}
+    for cell in cells:
+        key = f"{cell.binary_id}@{cell.site_name}"
+        for det in cell.report.prediction.determinants:
+            counts = det_outcomes.setdefault(det.key, {})
+            word = det.outcome.value
+            counts[word] = counts.get(word, 0) + 1
+            if word != "pass":
+                det_sim.setdefault(det.key, []).append(
+                    cell.report.feam_seconds)
+                if key in wall_by_cell:
+                    det_wall.setdefault(det.key, []).append(
+                        wall_by_cell[key])
+    determinants = {
+        key: {"outcomes": counts,
+              "sim": ledger_mod.latency_digest(det_sim.get(key, ())),
+              "wall": ledger_mod.latency_digest(det_wall.get(key, ()))}
+        for key, counts in sorted(det_outcomes.items())}
+
+    stats = result.stats
+    hits = (stats.description_hits + stats.discovery_hits
+            + stats.evaluation_hits)
+    lookups = (hits + stats.description_misses + stats.discovery_misses
+               + stats.evaluation_misses)
+    cache = dataclasses.asdict(stats)
+    cache["hit_rate"] = round(hits / lookups, 6) if lookups else None
+
+    counters = (snapshot or {}).get("counters", {})
+    histograms = (snapshot or {}).get("histograms", {})
+    rollup = {
+        "cells": len(cells),
+        "outcomes": outcomes,
+        "faulted": sum(1 for cell in cells if cell.faulted),
+        "resumed": result.resumed,
+        "quarantined": len(result.quarantined),
+        "retries": counters.get("resilience.retries.total", 0),
+        "faults_injected": counters.get("resilience.faults.injected", 0),
+        "cache": cache,
+        "determinants": determinants,
+        "sim": ledger_mod.latency_digest(
+            [cell.report.feam_seconds for cell in cells]),
+        "wall": ledger_mod.latency_digest(wall_by_cell.values()),
+    }
+    if len(cells) <= CELL_OUTCOME_CAP:
+        rollup["cell_outcomes"] = {
+            f"{cell.binary_id}@{cell.site_name}": cell.outcome_word
+            for cell in cells}
+    phases = {name: dict(histograms[instrument])
+              for name, instrument in _PHASE_HISTOGRAMS.items()
+              if instrument in histograms}
+    return {"rollup": rollup, "phases": phases}
 
 
 @dataclasses.dataclass(frozen=True)

@@ -29,13 +29,13 @@ from __future__ import annotations
 
 import dataclasses
 import enum
-import json
 import threading
 from typing import Callable, Optional
 
 from repro import obs
 from repro.core.config import FeamConfig
 from repro.util.hashing import stable_uniform
+from repro.util.jsonl import JsonlAppender, read_jsonl
 
 
 class BreakerState(enum.Enum):
@@ -273,53 +273,29 @@ def provenance_from(exc: BaseException, site: str,
         breaker_state=breaker_state, deadline_hit=deadline_hit)
 
 
-class MatrixJournal:
+class MatrixJournal(JsonlAppender):
     """Append-only JSONL checkpoint of completed matrix cells.
 
     One line per completed cell, written (and flushed) as the cell
     finishes, so a killed run loses at most the in-flight cells.
     Records are wall-clock-free: two runs of a deterministic matrix
-    produce byte-identical journals.
+    produce byte-identical journals.  The write/read discipline is the
+    shared :mod:`repro.util.jsonl` one.
     """
 
-    def __init__(self, path: str) -> None:
-        self.path = path
-        self._handle = open(path, "a", encoding="utf-8")
-        self._lock = threading.Lock()
-        self.written = 0
-
     def record(self, payload: dict) -> None:
-        line = json.dumps(payload, sort_keys=True)
-        with self._lock:
-            self._handle.write(line + "\n")
-            self._handle.flush()
-            self.written += 1
-
-    def close(self) -> None:
-        with self._lock:
-            self._handle.close()
+        self.append(payload)
 
     def __enter__(self) -> "MatrixJournal":
         return self
-
-    def __exit__(self, *exc_info) -> None:
-        self.close()
 
     @staticmethod
     def load(path: str) -> dict[tuple[str, str], dict]:
         """(binary_id, site) -> cell record.  Tolerates a torn final
         line (the kill may have landed mid-write)."""
         completed: dict[tuple[str, str], dict] = {}
-        with open(path, "r", encoding="utf-8") as handle:
-            for line in handle:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    record = json.loads(line)
-                except ValueError:
-                    continue  # torn tail of a killed run
-                key = (record.get("binary"), record.get("site"))
-                if None not in key:
-                    completed[key] = record
+        for record in read_jsonl(path):
+            key = (record.get("binary"), record.get("site"))
+            if None not in key:
+                completed[key] = record
         return completed

@@ -173,6 +173,8 @@ def histogram(name: str):
 # (at the bottom: ``slo``, ``serve`` and ``wide`` call back into this
 # facade).
 from repro.obs import analyze  # noqa: E402,F401
+from repro.obs import compare  # noqa: E402,F401
+from repro.obs import ledger  # noqa: E402,F401
 from repro.obs import sampling  # noqa: E402,F401
 from repro.obs import slo  # noqa: E402,F401
 from repro.obs import serve  # noqa: E402,F401

@@ -37,6 +37,8 @@ path       response
            plus the same per-site ``breakers`` map
 /snapshot  a ``repro.obs.watch.sample`` snapshot (metric summaries plus
            raw histogram buckets) -- the ``feam watch`` attach feed
+/runs      the run ledger (:mod:`repro.obs.ledger`): per-run manifest
+           summaries, newest last, plus the warehouse path
 ========== ============================================================
 
 Both health-facing endpoints surface circuit-breaker state: the
@@ -55,6 +57,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Callable, Optional, Sequence
 
 from repro import obs
+from repro.obs import ledger as ledger_mod
 from repro.obs import slo as slo_mod
 from repro.obs.export import span_record, span_tree
 
@@ -239,11 +242,22 @@ class _Handler(BaseHTTPRequestHandler):
             payload = report.to_dict()
             payload["breakers"] = breaker_states(collector.metrics)
             self._reply_json(200 if report.ok else 503, payload)
+        elif path == "/runs":
+            runs = telemetry.ledger.runs()
+            payload = {
+                "path": telemetry.ledger.path,
+                "count": len(runs),
+                "runs": [{key: run.get(key)
+                          for key in ("run_id", "ts", "kind", "seed")}
+                         | {"cells": (run.get("rollup") or {}).get("cells")}
+                         for run in runs],
+            }
+            self._reply_json(200, payload)
         else:
             self._reply_json(404, {"error": f"unknown path {path!r}",
                                    "paths": ["/metrics", "/healthz",
                                              "/trace", "/slo",
-                                             "/snapshot"]})
+                                             "/snapshot", "/runs"]})
 
     def _reply_json(self, status: int, payload: dict) -> None:
         body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
@@ -285,7 +299,8 @@ class TelemetryServer:
     def __init__(self, collector=None, host: str = "127.0.0.1",
                  port: int = 9464, namespace: str = "feam",
                  labels: Optional[dict] = None,
-                 rules: Optional[Sequence[slo_mod.SloRule]] = None) -> None:
+                 rules: Optional[Sequence[slo_mod.SloRule]] = None,
+                 ledger: Optional[ledger_mod.RunLedger] = None) -> None:
         if collector is None:
             self.collector: Callable = obs.current
         elif callable(collector):
@@ -296,6 +311,8 @@ class TelemetryServer:
         self.labels = dict(labels) if labels else None
         self.rules = tuple(rules) if rules is not None \
             else slo_mod.DEFAULT_RULES
+        self.ledger = (ledger if ledger is not None
+                       else ledger_mod.RunLedger())
         self._httpd = _Server((host, port), _Handler)
         self._httpd.telemetry = self
         self._thread: Optional[threading.Thread] = None

@@ -34,9 +34,10 @@ flatten a matrix cell into a record lives in
 from __future__ import annotations
 
 import collections
-import json
 import threading
 from typing import Iterable, Optional
+
+from repro.util import jsonl as _jsonl
 
 #: Version of the wide-event record layout.  Bump when a field changes
 #: meaning or disappears; adding fields is backwards-compatible.
@@ -74,24 +75,22 @@ class WideEventSink:
             maxlen=self.ring_size)
         self._lock = threading.Lock()
         self.path = path
-        self._handle = (open(path, "a", encoding="utf-8")
-                        if path is not None else None)
+        self._appender = (_jsonl.JsonlAppender(path)
+                          if path is not None else None)
         self.emitted = 0
         self.dropped = 0
 
     def emit(self, record: dict) -> None:
         """Buffer one record (and stream it to the file, if any)."""
         record.setdefault("schema", SCHEMA_VERSION)
-        line = json.dumps(record, sort_keys=True)
         with self._lock:
             evicted = len(self._ring) == self.ring_size
             self._ring.append(record)
             self.emitted += 1
             if evicted:
                 self.dropped += 1
-            if self._handle is not None:
-                self._handle.write(line + "\n")
-                self._handle.flush()
+            if self._appender is not None:
+                self._appender.append(record)
             buffered = len(self._ring)
         from repro import obs
         obs.counter("obs.wide.emitted").inc()
@@ -119,9 +118,9 @@ class WideEventSink:
 
     def close(self) -> None:
         with self._lock:
-            if self._handle is not None:
-                self._handle.close()
-                self._handle = None
+            if self._appender is not None:
+                self._appender.close()
+                self._appender = None
 
     def __enter__(self) -> "WideEventSink":
         return self
@@ -131,16 +130,20 @@ class WideEventSink:
 
     def export_jsonl(self) -> str:
         """The buffered records as JSONL text (oldest first)."""
-        return "".join(json.dumps(record, sort_keys=True) + "\n"
+        return "".join(_jsonl.dump_line(record) + "\n"
                        for record in self.events())
 
     def write_jsonl(self, path: str) -> int:
         """Write the buffered records to *path*; returns the count."""
-        events = self.events()
-        with open(path, "w", encoding="utf-8") as handle:
-            for record in events:
-                handle.write(json.dumps(record, sort_keys=True) + "\n")
-        return len(events)
+        return _jsonl.write_jsonl(path, self.events())
+
+
+def _refuse_newer_schema(lineno: int, record: dict) -> None:
+    schema = record.get("schema", SCHEMA_VERSION)
+    if isinstance(schema, int) and schema > SCHEMA_VERSION:
+        raise ValueError(
+            f"wide-event line {lineno}: schema {schema} is newer "
+            f"than this reader (understands <= {SCHEMA_VERSION})")
 
 
 def parse_jsonl(text: str, strict: bool = False) -> list[dict]:
@@ -151,30 +154,9 @@ def parse_jsonl(text: str, strict: bool = False) -> list[dict]:
     newer schema than this module understands raise ``ValueError``
     either way -- misreading them would be worse than failing.
     """
-    records: list[dict] = []
-    for lineno, line in enumerate(text.splitlines(), start=1):
-        line = line.strip()
-        if not line:
-            continue
-        try:
-            record = json.loads(line)
-        except ValueError:
-            if strict:
-                raise ValueError(
-                    f"wide-event line {lineno}: invalid JSON")
-            continue  # torn tail of a killed run
-        if not isinstance(record, dict):
-            if strict:
-                raise ValueError(
-                    f"wide-event line {lineno}: not an object")
-            continue
-        schema = record.get("schema", SCHEMA_VERSION)
-        if isinstance(schema, int) and schema > SCHEMA_VERSION:
-            raise ValueError(
-                f"wide-event line {lineno}: schema {schema} is newer "
-                f"than this reader (understands <= {SCHEMA_VERSION})")
-        records.append(record)
-    return records
+    return _jsonl.parse_jsonl(text, strict=strict,
+                              check=_refuse_newer_schema,
+                              label="wide-event")
 
 
 def read_jsonl(path: str, strict: bool = False) -> list[dict]:
@@ -185,9 +167,4 @@ def read_jsonl(path: str, strict: bool = False) -> list[dict]:
 
 def write_jsonl(path: str, records: Iterable[dict]) -> int:
     """Write *records* to *path* as JSONL; returns the count."""
-    count = 0
-    with open(path, "w", encoding="utf-8") as handle:
-        for record in records:
-            handle.write(json.dumps(record, sort_keys=True) + "\n")
-            count += 1
-    return count
+    return _jsonl.write_jsonl(path, records)

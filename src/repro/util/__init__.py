@@ -1,5 +1,7 @@
-"""Shared utilities: stable hashing and deterministic random draws."""
+"""Shared utilities: stable hashing, deterministic draws, JSONL I/O."""
 
 from repro.util.hashing import stable_hash, stable_uniform
+from repro.util.jsonl import JsonlAppender, read_jsonl, write_jsonl
 
-__all__ = ["stable_hash", "stable_uniform"]
+__all__ = ["stable_hash", "stable_uniform",
+           "JsonlAppender", "read_jsonl", "write_jsonl"]

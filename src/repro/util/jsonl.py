@@ -1,0 +1,127 @@
+"""Shared JSONL plumbing: torn-tail-tolerant reads, flushed appends.
+
+Three subsystems grew the same idiom independently -- the matrix
+journal (:class:`repro.core.resilience.MatrixJournal`), the wide-event
+sink (:class:`repro.obs.wide.WideEventSink`) and now the run ledger
+(:mod:`repro.obs.ledger`): append one JSON object per line, flush per
+line so a killed process loses at most the in-flight record, and on
+read tolerate a torn final line (the kill may have landed mid-write).
+This module is the single home for that idiom.
+
+* :func:`dump_line` -- the canonical serialisation (sorted keys, one
+  line) every producer uses, so byte-identical records stay
+  byte-identical on disk.
+* :func:`parse_jsonl` / :func:`read_jsonl` -- decode JSONL back into
+  records, skipping undecodable or non-object lines unless *strict*.
+  An optional *check* callback vets each decoded record (e.g. the wide
+  reader's refuse-newer-schema rule) and may raise ``ValueError`` or
+  return ``False`` to skip the record.
+* :func:`write_jsonl` -- whole-file rewrite (used by readers that
+  compact, e.g. the ledger's oldest-run eviction).
+* :class:`JsonlAppender` -- the thread-safe append-mode writer:
+  open-append, write + flush per record, count what was written.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from typing import Callable, Iterable, Optional
+
+#: Signature of the per-record vet hook: ``check(lineno, record)`` may
+#: raise ``ValueError`` (always fatal) or return False to skip.
+CheckFn = Callable[[int, dict], Optional[bool]]
+
+
+def dump_line(record: dict) -> str:
+    """One record as its canonical JSONL line (no trailing newline)."""
+    return json.dumps(record, sort_keys=True)
+
+
+def parse_jsonl(text: str, strict: bool = False,
+                check: Optional[CheckFn] = None,
+                label: str = "JSONL") -> list[dict]:
+    """Decode JSONL *text* into records, tolerating a torn tail.
+
+    Undecodable lines and non-object lines are skipped (the torn tail
+    of a killed run) unless *strict*, in which case they raise
+    ``ValueError`` naming the line.  *check* sees every decoded record
+    and may raise ``ValueError`` (fatal regardless of *strict*) or
+    return ``False`` to drop the record; *label* names the stream in
+    error messages (``"wide-event line 3: invalid JSON"``).
+    """
+    records: list[dict] = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError:
+            if strict:
+                raise ValueError(f"{label} line {lineno}: invalid JSON")
+            continue  # torn tail of a killed run
+        if not isinstance(record, dict):
+            if strict:
+                raise ValueError(f"{label} line {lineno}: not an object")
+            continue
+        if check is not None and check(lineno, record) is False:
+            continue
+        records.append(record)
+    return records
+
+
+def read_jsonl(path: str, strict: bool = False,
+               check: Optional[CheckFn] = None,
+               label: str = "JSONL") -> list[dict]:
+    """Load a JSONL file (torn-tail tolerant; see :func:`parse_jsonl`)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_jsonl(handle.read(), strict=strict, check=check,
+                           label=label)
+
+
+def write_jsonl(path: str, records: Iterable[dict]) -> int:
+    """Rewrite *path* with *records* as JSONL; returns the count."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(dump_line(record) + "\n")
+            count += 1
+    return count
+
+
+class JsonlAppender:
+    """Thread-safe append-mode JSONL writer, flushed per record.
+
+    The write discipline every checkpoint/telemetry stream shares: the
+    file is opened for append (an existing stream is extended, never
+    truncated), each record is written and flushed as one line, and
+    ``written`` counts this writer's contributions.  A process killed
+    mid-:meth:`append` leaves at most one torn line, which the readers
+    above skip.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._handle = open(path, "a", encoding="utf-8")
+        self._lock = threading.Lock()
+        self.written = 0
+
+    def append(self, record: dict) -> None:
+        """Write one record as a flushed JSONL line."""
+        line = dump_line(record)
+        with self._lock:
+            self._handle.write(line + "\n")
+            self._handle.flush()
+            self.written += 1
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._handle.closed:
+                self._handle.close()
+
+    def __enter__(self) -> "JsonlAppender":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

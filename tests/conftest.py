@@ -20,6 +20,17 @@ from repro.toolchain.compilers import CompilerFamily, intel
 TEST_SEED = 987654
 
 
+@pytest.fixture(autouse=True)
+def _isolated_run_ledger(tmp_path, monkeypatch):
+    """Point the run ledger at a per-test directory.
+
+    ``feam matrix`` / ``feam chaos`` record a manifest into the ledger
+    by default; without this, every in-process ``feam_main`` call in
+    the suite would append to the repository's own ``.feam/runs/``.
+    """
+    monkeypatch.setenv("FEAM_LEDGER_DIR", str(tmp_path / "ledger"))
+
+
 @pytest.fixture(scope="session")
 def paper_sites():
     """The five Table II sites (session-shared; treat as read-only)."""

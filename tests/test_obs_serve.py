@@ -170,6 +170,36 @@ class TestEndpoints:
         assert status == 503
         assert payload["ok"] is False
 
+    def test_runs_endpoint_lists_the_ledger(self, tmp_path):
+        from repro.obs.ledger import RunLedger
+
+        ledger = RunLedger(str(tmp_path / "runs"))
+        ledger.record({"run_id": "r-1", "kind": "matrix", "seed": 7,
+                       "rollup": {"cells": 10}})
+        ledger.record({"run_id": "r-2", "kind": "chaos", "seed": 7,
+                       "rollup": {"cells": 10}})
+        with TelemetryServer(obs.Collector(), port=0,
+                             ledger=ledger) as server:
+            status, body = _get(server.url + "/runs")
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["count"] == 2
+        assert [run["run_id"] for run in payload["runs"]] \
+            == ["r-1", "r-2"]
+        assert payload["runs"][1]["kind"] == "chaos"
+        assert payload["runs"][1]["cells"] == 10
+
+    def test_runs_endpoint_empty_ledger(self, tmp_path):
+        from repro.obs.ledger import RunLedger
+
+        ledger = RunLedger(str(tmp_path / "empty"))
+        with TelemetryServer(obs.Collector(), port=0,
+                             ledger=ledger) as server:
+            status, body = _get(server.url + "/runs")
+        assert status == 200
+        assert json.loads(body) == {"path": ledger.path, "count": 0,
+                                    "runs": []}
+
     def test_unknown_path_404(self, served):
         status, body = _get(served.url + "/definitely-not")
         assert status == 404

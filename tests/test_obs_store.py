@@ -168,6 +168,59 @@ class TestRunQuery:
         assert payload["truncated_rows"] == 0
 
 
+class TestAggregateEdgeCases:
+    def test_empty_group_after_where_with_group_by(self):
+        # A --where that eliminates everything must yield zero groups
+        # (not one empty group with degenerate aggregates), and the
+        # renderer must say so rather than print a bare header.
+        where = [parse_where("outcome=nope")]
+        result = run_query(_events(), where=where, by="site",
+                           aggs=[parse_agg("p95:wall_seconds")])
+        assert result.matched == 0
+        assert result.rows == []
+        assert "(no matching events)" in render_result(result,
+                                                       where=where)
+
+    def test_single_row_percentiles_all_equal_the_value(self):
+        one = [{"site": "solo", "wall_seconds": 0.042}]
+        result = run_query(one, by="site",
+                           aggs=[parse_agg("p50:wall_seconds"),
+                                 parse_agg("p95:wall_seconds"),
+                                 parse_agg("p99:wall_seconds")])
+        (_group, values, size) = result.rows[0]
+        assert size == 1
+        assert values["p50:wall_seconds"] == pytest.approx(0.042)
+        assert values["p95:wall_seconds"] == pytest.approx(0.042)
+        assert values["p99:wall_seconds"] == pytest.approx(0.042)
+
+    def test_mixed_type_field_aggregates_numeric_subset(self):
+        # A field that is numeric in some events and a string in
+        # others (a writer bug, or schema skew between versions) must
+        # aggregate over the numeric subset only, never raise.
+        records = [{"wall_seconds": 1.0}, {"wall_seconds": "fast"},
+                   {"wall_seconds": 3.0}, {"wall_seconds": None}]
+        result = run_query(records, aggs=[parse_agg("mean:wall_seconds"),
+                                          parse_agg("count")])
+        (_group, values, size) = result.rows[0]
+        assert size == 4
+        assert values["mean:wall_seconds"] == pytest.approx(2.0)
+
+    def test_mixed_type_ordered_where_skips_non_numeric(self):
+        records = [{"wall_seconds": 1.0}, {"wall_seconds": "fast"},
+                   {"wall_seconds": 3.0}]
+        result = run_query(records,
+                           where=[parse_where("wall_seconds>=2")])
+        assert result.matched == 1
+
+    def test_all_non_numeric_group_aggregates_to_none(self):
+        records = [{"site": "a", "wall_seconds": "oops"}]
+        result = run_query(records, by="site",
+                           aggs=[parse_agg("p50:wall_seconds")])
+        (_group, values, size) = result.rows[0]
+        assert size == 1
+        assert values["p50:wall_seconds"] is None
+
+
 class TestRender:
     def test_header_and_footer(self):
         where = [parse_where("outcome=ready")]
