@@ -3,8 +3,8 @@
 PYTHON ?= python3
 
 .PHONY: install test ci bench bench-matrix perf-gate fleet-gate \
-	telemetry-gate history-gate chaos serve slo trace tables report \
-	examples clean
+	telemetry-gate history-gate alert-gate chaos serve slo trace \
+	tables report examples clean
 
 # Run-ledger directory used by the history gate (wiped per run).
 HISTORY_LEDGER ?= .ci-runs
@@ -44,6 +44,9 @@ fleet-gate:
 telemetry-gate:
 	PYTHONPATH=src $(PYTHON) benchmarks/telemetry_gate.py \
 		--fleet fleet:n=1000,seed=7 --binaries 4
+
+alert-gate:
+	PYTHONPATH=src $(PYTHON) benchmarks/alert_gate.py
 
 # Two fresh-process matrix runs must land two ledger entries and
 # compare clean; the flaky chaos run must then trip the same gate.

@@ -67,7 +67,13 @@ artifacts:
   above the gate;
 * ``feam drift`` -- the newest run against a rolling baseline of the
   last N runs of its kind, flagging metric excursions; ``--rules``
-  additionally applies SLO rules (exit 2 on violation).
+  additionally applies SLO rules (exit 2 on violation);
+* ``feam alerts`` -- the multi-window burn-rate alert engine
+  (:mod:`repro.obs.alerts`): drive a live matrix run (one evaluation
+  round per tick) or ``--replay`` a recorded wide-event or ledger
+  JSONL file, run the anomaly detector over the stream, and print the
+  alert states plus an incident timeline (``--timeline FILE``); exit
+  2 while anything is firing.
 
 ``feam`` subcommands use distinct exit codes so CI can tell failure
 modes apart: 1 = operational error (bad input, unknown site), 2 = SLO
@@ -218,6 +224,11 @@ def feam_main(argv: Optional[list[str]] = None) -> int:
     chaos.add_argument(
         "--summary-out", metavar="FILE.json", default=None,
         help="also write the fault/retry/breaker summary as JSON")
+    chaos.add_argument(
+        "--timeline", metavar="FILE.jsonl", default=None,
+        help="append the run's alert transitions (the wide-event "
+             "stream replayed through the burn-rate alert engine) to "
+             "this incident-timeline JSONL file")
     _add_telemetry_args(chaos)
     _add_ledger_args(chaos)
 
@@ -503,6 +514,71 @@ def feam_main(argv: Optional[list[str]] = None) -> int:
         "--json", action="store_true",
         help="emit the drift report as JSON")
 
+    alerts = sub.add_parser(
+        "alerts",
+        help="multi-window burn-rate alerting: drive a live matrix "
+             "run (one round per evaluation tick) or --replay a "
+             "recorded wide-event/ledger JSONL stream, plus robust "
+             "median/MAD anomaly detection; exit 2 while firing")
+    alerts.add_argument(
+        "--replay", metavar="FILE.jsonl", default=None,
+        help="replay this recorded stream instead of running live: "
+             "wide events (feam matrix/chaos --wide-out) fold into "
+             "one burn-rate tick per --batch records; ledger "
+             "manifests (records with a 'rollup') tick once per run "
+             "with the rollup.* rule vocabulary")
+    alerts.add_argument(
+        "--rules", metavar="FILE", default=None,
+        help="SLO rules file to arm (same grammar as feam slo, "
+             "including [critical]/[warn] tags); default: the "
+             "deterministic built-in alert set")
+    alerts.add_argument(
+        "--burn", metavar="FAST:SLOW[:FRACTION]", default=None,
+        help="burn windows in ticks: every fast tick AND at least "
+             "FRACTION of the slow window must violate (default: "
+             "2:6:0.5)")
+    alerts.add_argument(
+        "--for", dest="for_ticks", type=int, default=2, metavar="N",
+        help="for-duration damping: the condition must hold N "
+             "consecutive ticks before pending escalates to firing "
+             "(default: 2)")
+    alerts.add_argument(
+        "--batch", type=int, default=10,
+        help="wide-event replay: records folded into each evaluation "
+             "tick (default: 10)")
+    alerts.add_argument(
+        "--anomaly-threshold", type=float, default=None,
+        metavar="Z", help="robust z-score cutoff for the wide-event "
+                          "anomaly detector (default: 3.5)")
+    alerts.add_argument(
+        "--min-groups", type=int, default=None, metavar="N",
+        help="content groups needed before the anomaly detector "
+             "speaks (default: 4)")
+    alerts.add_argument(
+        "--timeline", metavar="FILE.jsonl", default=None,
+        help="append every alert transition to this incident-"
+             "timeline JSONL file")
+    alerts.add_argument(
+        "--json", action="store_true",
+        help="emit the final alert states as JSON instead of a report")
+    alerts.add_argument(
+        "--rounds", type=int, default=3,
+        help="live mode: matrix evaluation rounds, one burn-rate "
+             "tick each (default: 3)")
+    alerts.add_argument("--seed", type=int, default=20130101,
+                        help="world seed, also the anomaly detector's "
+                             "tie-break seed (default: 20130101)")
+    alerts.add_argument("--binaries", type=int, default=4,
+                        help="test binaries to compile (default: 4)")
+    alerts.add_argument(
+        "--sites", default="paper", metavar="SPEC",
+        help="site set: 'paper' or a generator spec like "
+             "'fleet:n=100,seed=7' (default: paper)")
+    alerts.add_argument("--extended", action="store_true",
+                        help="also run source phases")
+    alerts.add_argument("--workers", type=int, default=None,
+                        help="thread-pool size")
+
     args = parser.parse_args(argv)
     if args.command == "matrix":
         return _feam_matrix(args)
@@ -530,6 +606,8 @@ def feam_main(argv: Optional[list[str]] = None) -> int:
         return _feam_compare(args)
     if args.command == "drift":
         return _feam_drift(args)
+    if args.command == "alerts":
+        return _feam_alerts(args)
     return 2  # pragma: no cover - argparse enforces the choices
 
 
@@ -852,6 +930,39 @@ def _render_chaos_summary(summary: dict) -> str:
     return "\n".join(lines)
 
 
+def _chaos_alerts(args, alert_feed):
+    """Replay a chaos run's wide events through the alert engine.
+
+    Injected faults must *visibly* trip alerts: the summary goes on
+    stdout right after the chaos table.  The chaos determinism gate
+    byte-compares same-seed stdout, so everything printed here is
+    derived from the wide events alone (logical ticks, no wall
+    clocks).  Returns the engine, or None when --timeline cannot be
+    opened.
+    """
+    from repro.obs import alerts as alerts_mod
+
+    sinks: list = []
+    if getattr(args, "timeline", None):
+        try:
+            sinks.append(alerts_mod.JsonlSink(args.timeline))
+        except OSError as exc:
+            print(f"cannot open timeline {args.timeline!r}: {exc}",
+                  file=sys.stderr)
+            return None
+    engine = alerts_mod.AlertEngine(sinks=sinks, emit_obs=False)
+    alerts_mod.replay_wide(alert_feed.events(), engine)
+    engine.close()
+    print()
+    print("alerts")
+    print("------")
+    print(alerts_mod.render_alerts(engine))
+    if getattr(args, "timeline", None):
+        print(f"timeline: {len(engine.transitions)} transition(s) "
+              f"appended to {args.timeline}", file=sys.stderr)
+    return engine
+
+
 def _feam_chaos(args) -> int:
     import json
 
@@ -880,6 +991,11 @@ def _feam_chaos(args) -> int:
           f"({len(plan.specs)} spec(s), seed {plan.seed}); evaluating "
           f"{len(binaries)} binaries x {len(sites)} sites...",
           file=sys.stderr)
+    # An internal in-memory wide sink feeds the post-run alert replay
+    # when the user did not ask for --wide-out; the *user's* sink (or
+    # None) still goes to the ledger so manifests are unchanged.
+    from repro.obs.wide import WideEventSink
+    alert_feed = wide_sink if wide_sink is not None else WideEventSink()
     # Arm *after* the sites are built so compilation stays clean; the
     # faults land on the evaluation itself.
     plan.arm(sites)
@@ -889,7 +1005,7 @@ def _feam_chaos(args) -> int:
                 result = engine.evaluate_matrix(
                     binaries, sites, bundles=bundles or None,
                     journal=journal, resume=resume,
-                    wide_sink=wide_sink, sampler=sampler)
+                    wide_sink=alert_feed, sampler=sampler)
     finally:
         faults_mod.FaultPlan.disarm(sites)
         if journal is not None:
@@ -901,6 +1017,8 @@ def _feam_chaos(args) -> int:
     counters = collector.metrics.to_dict()["counters"]
     summary = _chaos_summary(plan, engine, result, counters)
     print(_render_chaos_summary(summary))
+    if _chaos_alerts(args, alert_feed) is None:
+        return EXIT_FAILURE
     if journal is not None:
         print(f"journal: {journal.written} cell(s) appended to "
               f"{journal.path}", file=sys.stderr)
@@ -1442,6 +1560,136 @@ def _feam_drift(args) -> int:
     return EXIT_OK if report["slo_ok"] else EXIT_SLO_VIOLATION
 
 
+def _alert_engine_from_args(args, slos=None):
+    """An armed AlertEngine (plus its sinks) from the alerts flags,
+    or None on a bad flag."""
+    from repro.obs import alerts as alerts_mod
+
+    try:
+        windows = (alerts_mod.BurnWindows.parse(args.burn)
+                   if args.burn else alerts_mod.BurnWindows())
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return None
+    if slos is None:
+        slos = alerts_mod.DEFAULT_ALERT_SLOS
+    sinks: list = []
+    if getattr(args, "timeline", None):
+        try:
+            sinks.append(alerts_mod.JsonlSink(args.timeline))
+        except OSError as exc:
+            print(f"cannot open timeline {args.timeline!r}: {exc}",
+                  file=sys.stderr)
+            return None
+    sinks.append(alerts_mod.StderrSink())
+    rules = alerts_mod.alert_rules(slos, windows=windows,
+                                   for_ticks=max(1, args.for_ticks))
+    return alerts_mod.AlertEngine(rules, sinks=sinks)
+
+
+def _detect_anomalies(records, args, engine) -> int:
+    """One anomaly-detector pass over wide events, folded into the
+    alert engine; returns how many anomalies it raised."""
+    from repro.core.engine import anomaly_features
+    from repro.obs import anomaly as anomaly_mod
+
+    threshold = (args.anomaly_threshold
+                 if args.anomaly_threshold is not None
+                 else anomaly_mod.DEFAULT_THRESHOLD)
+    min_groups = (args.min_groups if args.min_groups is not None
+                  else anomaly_mod.MIN_GROUPS)
+    anomalies = anomaly_mod.detect(
+        records, anomaly_features, threshold=threshold,
+        seed=args.seed, min_groups=min_groups)
+    engine.observe_anomalies(anomalies)
+    return len(anomalies)
+
+
+def _feam_alerts(args) -> int:
+    import json as json_mod
+
+    from repro import obs
+    from repro.obs import alerts as alerts_mod
+    from repro.obs import wide as wide_mod
+
+    if args.replay:
+        try:
+            records = wide_mod.read_jsonl(args.replay)
+        except (OSError, ValueError) as exc:
+            print(f"cannot read {args.replay!r}: {exc}",
+                  file=sys.stderr)
+            return EXIT_FAILURE
+        if not records:
+            print(f"{args.replay}: no records to replay",
+                  file=sys.stderr)
+            return EXIT_FAILURE
+        if "rollup" in records[0]:
+            # Ledger manifests: one run = one tick, rollup.* rules.
+            slos = (alerts_mod.DEFAULT_LEDGER_SLOS
+                    if args.rules is None
+                    else _load_slo_rules(args.rules))
+            if slos is None:
+                return EXIT_FAILURE
+            engine = _alert_engine_from_args(args, slos)
+            if engine is None:
+                return EXIT_FAILURE
+            ticks = alerts_mod.replay_ledger(records, engine)
+            print(f"replayed {len(records)} ledger run(s) as "
+                  f"{ticks} tick(s)", file=sys.stderr)
+        else:
+            slos = (None if args.rules is None
+                    else _load_slo_rules(args.rules))
+            if args.rules is not None and slos is None:
+                return EXIT_FAILURE
+            engine = _alert_engine_from_args(args, slos)
+            if engine is None:
+                return EXIT_FAILURE
+            ticks = alerts_mod.replay_wide(records, engine,
+                                           batch=max(1, args.batch))
+            raised = _detect_anomalies(records, args, engine)
+            print(f"replayed {len(records)} wide event(s) as {ticks} "
+                  f"tick(s); anomaly detector raised {raised}",
+                  file=sys.stderr)
+    else:
+        # Live drive mode: each matrix round is one evaluation tick;
+        # an internal wide sink feeds the anomaly detector at the end.
+        slos = (None if args.rules is None
+                else _load_slo_rules(args.rules))
+        if args.rules is not None and slos is None:
+            return EXIT_FAILURE
+        engine = _alert_engine_from_args(args, slos)
+        if engine is None:
+            return EXIT_FAILURE
+        inputs = _build_matrix_inputs(args)
+        if inputs is None:
+            return EXIT_FAILURE
+        sites, eval_engine, binaries, bundles = inputs
+        wide_sink = wide_mod.WideEventSink()
+        print(f"evaluating {len(binaries)} binaries x {len(sites)} "
+              f"sites, {max(1, args.rounds)} round(s)...",
+              file=sys.stderr)
+        with obs.capture():
+            for _ in range(max(1, args.rounds)):
+                eval_engine.evaluate_matrix(
+                    binaries, sites, bundles=bundles or None,
+                    wide_sink=wide_sink)
+                engine.observe(obs.metrics().to_dict())
+        raised = _detect_anomalies(wide_sink.events(), args, engine)
+        print(f"{engine.tick} evaluation tick(s); anomaly detector "
+              f"raised {raised}", file=sys.stderr)
+
+    if args.timeline:
+        print(f"timeline: {len(engine.transitions)} transition(s) "
+              f"appended to {args.timeline}", file=sys.stderr)
+    engine.close()
+    if args.json:
+        print(json_mod.dumps(engine.to_dict(), indent=2,
+                             sort_keys=True))
+    else:
+        print(alerts_mod.render_alerts(engine))
+    return EXIT_SLO_VIOLATION if engine.firing else EXIT_OK
+
+
 def _feam_serve(args) -> int:
     import time as time_mod
 
@@ -1468,7 +1716,7 @@ def _feam_serve(args) -> int:
             return EXIT_FAILURE
         with server:
             print(f"serving {server.url}/metrics (+ /healthz /trace "
-                  f"/slo /snapshot /runs)", file=sys.stderr)
+                  f"/slo /alerts /snapshot /runs)", file=sys.stderr)
             print(f"evaluating {len(binaries)} binaries x {len(sites)} "
                   f"sites, {max(1, args.rounds)} round(s)...",
                   file=sys.stderr)

@@ -240,6 +240,38 @@ def wide_record(cell: "MatrixCell", *, worker: str = "worker-0",
     return record
 
 
+def anomaly_features(record: dict) -> dict:
+    """One wide event as numeric anomaly-detector features.
+
+    The engine half of the anomaly layer (``repro.obs.anomaly`` takes
+    an injected extractor because it cannot know the wide-event
+    vocabulary): per-determinant blocked indicators (averaging to the
+    group's ``det_*`` verdict rates), the simulated cell latency, the
+    cache hit rate across all three layers, and fault/retry pressure.
+    Wall-clock fields are deliberately excluded -- anomaly streams
+    feed the alert engine, whose timeline must stay byte-identical
+    across same-seed runs.
+    """
+    hits = [record.get(field) for field in
+            ("description_hit", "discovery_hit", "evaluation_hit")]
+    known = [hit for hit in hits if hit is not None]
+    features = {
+        "sim_seconds": float(record.get("sim_seconds") or 0.0),
+        "retry_seconds": float(record.get("retry_seconds") or 0.0),
+        "fault_rate": 1.0 if record.get("fault_kind") else 0.0,
+        "unknown_rate": (1.0 if record.get("outcome") == "unknown"
+                         else 0.0),
+    }
+    if known:
+        features["cache_hit_rate"] = (
+            sum(1.0 for hit in known if hit) / len(known))
+    for key, value in record.items():
+        if key.startswith("det_"):
+            features[f"{key}_block_rate"] = \
+                0.0 if value == "pass" else 1.0
+    return features
+
+
 #: Metrics snapshot histograms distilled into the manifest's per-phase
 #: latency digests (manifest phase name -> histogram instrument).
 _PHASE_HISTOGRAMS = {

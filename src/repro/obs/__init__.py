@@ -41,7 +41,9 @@ from repro.obs.tracer import NullTracer, Span, Tracer
 
 __all__ = [
     "Collector",
+    "alerts",
     "analyze",
+    "anomaly",
     "capture",
     "counter",
     "current",
@@ -172,7 +174,9 @@ def histogram(name: str):
 # Analysis layers over the collector, importable as ``obs.analyze`` etc.
 # (at the bottom: ``slo``, ``serve`` and ``wide`` call back into this
 # facade).
+from repro.obs import alerts  # noqa: E402,F401
 from repro.obs import analyze  # noqa: E402,F401
+from repro.obs import anomaly  # noqa: E402,F401
 from repro.obs import compare  # noqa: E402,F401
 from repro.obs import ledger  # noqa: E402,F401
 from repro.obs import sampling  # noqa: E402,F401

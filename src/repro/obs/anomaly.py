@@ -1,0 +1,177 @@
+"""Statistical anomaly detection over wide-event streams.
+
+Burn-rate alerts (:mod:`repro.obs.alerts`) catch what a threshold
+already names; this module catches what no threshold anticipated: a
+*content group* whose behaviour left the fleet's envelope.  The
+method is the robust median/MAD z-score (Iglewicz--Hoaglin): for each
+feature, the per-group means are compared against the median of all
+groups, scaled by the median absolute deviation -- both statistics
+shrug off the very outliers they are hunting, where a mean/stddev
+score would be dragged toward them.
+
+The layer split mirrors the wide-event layer itself: wide events
+arrive here as plain dicts and the *extractor* mapping one record to
+numeric features is injected by the caller --
+``repro.core.engine.anomaly_features`` for real matrix streams
+(det_* verdict rates, sim latencies, cache hit rates; never wall
+clocks), anything test code likes otherwise.
+
+Determinism: group iteration is sorted, the z-score cutoff carries a
+tiny seed-keyed jitter (:func:`repro.util.hashing.stable_uniform`) so
+borderline ties resolve identically for identical seeds, and no
+statistic reads a wall clock -- same-seed runs produce byte-identical
+anomaly (and therefore alert) streams.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Sequence
+
+from repro.util.hashing import stable_uniform
+
+#: Robust z-score magnitude above which a group is anomalous.  3.5 is
+#: the standard Iglewicz--Hoaglin recommendation.
+DEFAULT_THRESHOLD = 3.5
+
+#: Fewer groups than this and the median/MAD have no authority; the
+#: detector stays silent rather than flagging half the population.
+MIN_GROUPS = 4
+
+#: The consistency constant making MAD comparable to a standard
+#: deviation under normality (1/1.4826).
+_MAD_SCALE = 0.6745
+
+
+@dataclasses.dataclass(frozen=True)
+class Anomaly:
+    """One feature of one group outside the fleet envelope."""
+
+    feature: str
+    group: str
+    value: float
+    median: float
+    mad: float
+    zscore: float
+    severity: str                 # "warn", "critical" beyond 2x cutoff
+
+    @property
+    def key(self) -> str:
+        """The alert dedup key this anomaly raises."""
+        return f"anomaly:{self.feature}:{self.group}"
+
+    def to_dict(self) -> dict:
+        return {
+            "feature": self.feature,
+            "group": self.group,
+            "value": self.value,
+            "median": self.median,
+            "mad": self.mad,
+            "zscore": self.zscore,
+            "severity": self.severity,
+        }
+
+
+def _median(values: Sequence[float]) -> float:
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def group_features(records: Sequence[dict],
+                   extract: Callable[[dict], dict],
+                   group_field: str = "content_group") -> dict:
+    """Per-group feature means: ``{group: {feature: mean}}``.
+
+    Groups come from *group_field* (falling back to ``site`` and then
+    one global bucket -- old streams without content groups still
+    work), features from the injected *extract* callable over each
+    record.  A feature absent from a record simply does not enter
+    that record's contribution.
+    """
+    sums: dict[str, dict[str, float]] = {}
+    counts: dict[str, dict[str, int]] = {}
+    for record in records:
+        group = record.get(group_field) or record.get("site") \
+            or "(ungrouped)"
+        group = str(group)
+        features = extract(record)
+        group_sums = sums.setdefault(group, {})
+        group_counts = counts.setdefault(group, {})
+        for feature, value in features.items():
+            if not isinstance(value, (int, float)):
+                continue
+            group_sums[feature] = group_sums.get(feature, 0.0) \
+                + float(value)
+            group_counts[feature] = group_counts.get(feature, 0) + 1
+    return {group: {feature: round(total / counts[group][feature], 9)
+                    for feature, total in sorted(features.items())}
+            for group, features in sorted(sums.items())}
+
+
+def robust_zscores(by_group: dict,
+                   threshold: float = DEFAULT_THRESHOLD,
+                   seed: int = 0,
+                   min_groups: int = MIN_GROUPS) -> list[Anomaly]:
+    """Median/MAD z-scores over per-group feature means.
+
+    For every feature observed in at least *min_groups* groups:
+    ``z = 0.6745 * (x - median) / MAD``.  A zero MAD (more than half
+    the groups identical) yields no scale to judge deviation by, so
+    the feature is skipped -- a detector with no envelope must stay
+    quiet, not page on everything.  The cutoff carries a seed-keyed
+    jitter of +-5e-7 so exact-tie comparisons resolve identically for
+    identical seeds.
+    """
+    features: dict[str, list[tuple[str, float]]] = {}
+    for group, values in sorted(by_group.items()):
+        for feature, value in sorted(values.items()):
+            features.setdefault(feature, []).append((group, value))
+
+    anomalies: list[Anomaly] = []
+    for feature, pairs in sorted(features.items()):
+        if len(pairs) < max(2, min_groups):
+            continue
+        values = [value for _group, value in pairs]
+        median = _median(values)
+        mad = _median([abs(value - median) for value in values])
+        if mad == 0:
+            continue
+        cutoff = threshold + (stable_uniform(
+            "anomaly-threshold", seed, feature) - 0.5) * 1e-6
+        for group, value in pairs:
+            zscore = _MAD_SCALE * (value - median) / mad
+            if abs(zscore) <= cutoff:
+                continue
+            anomalies.append(Anomaly(
+                feature=feature, group=group,
+                value=round(value, 9), median=round(median, 9),
+                mad=round(mad, 9), zscore=round(zscore, 6),
+                severity=("critical" if abs(zscore) > 2 * cutoff
+                          else "warn")))
+    anomalies.sort(key=lambda a: (-abs(a.zscore), a.feature, a.group))
+    return anomalies
+
+
+def detect(records: Sequence[dict],
+           extract: Callable[[dict], dict],
+           threshold: float = DEFAULT_THRESHOLD,
+           seed: int = 0,
+           group_field: str = "content_group",
+           min_groups: int = MIN_GROUPS) -> list[Anomaly]:
+    """The full pass: group, aggregate, score.
+
+    *min_groups* overrides :data:`MIN_GROUPS` (tests on tiny fleets);
+    everything else is the two stages above composed.
+    """
+    by_group = group_features(records, extract, group_field=group_field)
+    return robust_zscores(by_group, threshold=threshold, seed=seed,
+                          min_groups=min_groups)
+
+
+__all__ = [
+    "DEFAULT_THRESHOLD", "MIN_GROUPS", "Anomaly", "group_features",
+    "robust_zscores", "detect",
+]

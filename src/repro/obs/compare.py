@@ -366,6 +366,7 @@ def drift(runs: Sequence[dict], window: int = 10,
         "kind": kind,
         "window": int(window),
         "baseline_runs": len(baseline_runs),
+        "insufficient_history": len(baseline_runs) < max(1, int(window)),
         "tolerance": tolerance,
         "metrics_checked": checked,
         "excursions": excursions,
@@ -382,6 +383,13 @@ def render_drift(report: dict, max_rows: int = 25) -> str:
     if not report["baseline_runs"]:
         lines.append("(no earlier runs of this kind -- nothing to "
                      "drift against)")
+    if report.get("insufficient_history"):
+        # A thin baseline is advisory, not alarming: the drift pass
+        # still runs over what exists, but the notice keeps a 2-run
+        # excursion from being read with 10-run confidence.
+        lines.append(f"insufficient history (have "
+                     f"{report['baseline_runs']}, need "
+                     f"{report['window']})")
     excursions = report["excursions"]
     lines.append(f"{report['metrics_checked']} metric(s) checked, "
                  f"{len(excursions)} excursion(s)")

@@ -35,6 +35,11 @@ path       response
 /trace     the latest span tree as nested JSON
 /slo       DEFAULT_RULES (or the server's rules) against live metrics,
            plus the same per-site ``breakers`` map
+/alerts    one burn-rate evaluation tick of the server's alert engine
+           (:mod:`repro.obs.alerts`) against live metrics; 503 while
+           anything is firing.  ``/healthz`` reads the same engine
+           without ticking it and degrades to 503 (``status:
+           degraded``) while *critical* alerts fire
 /snapshot  a ``repro.obs.watch.sample`` snapshot (metric summaries plus
            raw histogram buckets) -- the ``feam watch`` attach feed
 /runs      the run ledger (:mod:`repro.obs.ledger`): per-run manifest
@@ -56,9 +61,12 @@ import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Callable, Optional, Sequence
 
+import repro
 from repro import obs
+from repro.obs import alerts as alerts_mod
 from repro.obs import ledger as ledger_mod
 from repro.obs import slo as slo_mod
+from repro.obs import wide as wide_mod
 from repro.obs.export import span_record, span_tree
 
 _NAME_SANITIZE = re.compile(r"[^a-zA-Z0-9_:]")
@@ -190,6 +198,29 @@ def render_prometheus(registry, namespace: str = "feam",
     return "\n".join(lines) + "\n"
 
 
+def render_build_info(namespace: str = "feam",
+                      labels: Optional[dict] = None) -> str:
+    """The ``feam_build_info`` gauge: package and schema versions.
+
+    The standard Prometheus idiom for version telemetry -- a constant
+    ``1`` whose *labels* carry the versions, so dashboards can join
+    any other series against the code that produced it.  Schema labels
+    cover every on-disk artefact a scraper might also be reading: wide
+    events, run-ledger manifests and incident timelines.
+    """
+    merged = dict(labels or {})
+    merged.update({
+        "version": repro.__version__,
+        "wide_schema": str(wide_mod.SCHEMA_VERSION),
+        "ledger_schema": str(ledger_mod.SCHEMA_VERSION),
+        "alert_schema": str(alerts_mod.SCHEMA_VERSION),
+    })
+    metric = _metric_name("build.info", namespace)
+    return (f"# HELP {metric} FEAM build and schema versions\n"
+            f"# TYPE {metric} gauge\n"
+            f"{metric}{_label_str(merged)} 1\n")
+
+
 def trace_tree_json(spans: Sequence) -> dict:
     """The span list as a nested JSON-ready tree (the ``/trace`` body)."""
     def node(tree_node) -> dict:
@@ -214,20 +245,35 @@ class _Handler(BaseHTTPRequestHandler):
         telemetry = self.server.telemetry
         collector = telemetry.collector()
         if path == "/metrics":
-            body = render_prometheus(
+            body = (render_prometheus(
                 collector.metrics, namespace=telemetry.namespace,
-                labels=telemetry.labels).encode("utf-8")
+                labels=telemetry.labels)
+                + render_build_info(namespace=telemetry.namespace,
+                                    labels=telemetry.labels)
+            ).encode("utf-8")
             self._reply(200, CONTENT_TYPE, body)
         elif path == "/healthz":
+            # Reads alert state without ticking the engine: liveness
+            # probes must not advance burn windows, only scrapes of
+            # ``/alerts`` evaluate.  Critical firing alerts degrade
+            # the probe to 503 so orchestrators stop routing to (or
+            # restart) an instance that is actively paging.
             spans = collector.tracer.snapshot()
+            engine = telemetry.alerts
+            degraded = engine.has_critical_firing
             payload = {
-                "status": "ok",
+                "status": "degraded" if degraded else "ok",
                 "active": bool(collector.active),
                 "spans": len(spans),
                 "events": len(getattr(collector.events, "events", ())),
                 "breakers": breaker_states(collector.metrics),
+                "alerts": {
+                    "firing": len(engine.firing),
+                    "pending": len(engine.pending),
+                    "critical_firing": degraded,
+                },
             }
-            self._reply_json(200, payload)
+            self._reply_json(503 if degraded else 200, payload)
         elif path == "/trace":
             spans = collector.tracer.snapshot()
             self._reply_json(200, trace_tree_json(spans))
@@ -242,6 +288,15 @@ class _Handler(BaseHTTPRequestHandler):
             payload = report.to_dict()
             payload["breakers"] = breaker_states(collector.metrics)
             self._reply_json(200 if report.ok else 503, payload)
+        elif path == "/alerts":
+            # Scrape-driven evaluation: every GET is one burn-rate
+            # tick over the live metrics snapshot (the serialised
+            # lock keeps concurrent scrapes from interleaving a tick).
+            with telemetry.alerts_lock:
+                telemetry.alerts.observe(collector.metrics.to_dict())
+                payload = telemetry.alerts.to_dict()
+            firing = bool(payload["firing"])
+            self._reply_json(503 if firing else 200, payload)
         elif path == "/runs":
             runs = telemetry.ledger.runs()
             payload = {
@@ -257,7 +312,8 @@ class _Handler(BaseHTTPRequestHandler):
             self._reply_json(404, {"error": f"unknown path {path!r}",
                                    "paths": ["/metrics", "/healthz",
                                              "/trace", "/slo",
-                                             "/snapshot", "/runs"]})
+                                             "/alerts", "/snapshot",
+                                             "/runs"]})
 
     def _reply_json(self, status: int, payload: dict) -> None:
         body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
@@ -300,7 +356,8 @@ class TelemetryServer:
                  port: int = 9464, namespace: str = "feam",
                  labels: Optional[dict] = None,
                  rules: Optional[Sequence[slo_mod.SloRule]] = None,
-                 ledger: Optional[ledger_mod.RunLedger] = None) -> None:
+                 ledger: Optional[ledger_mod.RunLedger] = None,
+                 alerts: Optional[alerts_mod.AlertEngine] = None) -> None:
         if collector is None:
             self.collector: Callable = obs.current
         elif callable(collector):
@@ -313,6 +370,13 @@ class TelemetryServer:
             else slo_mod.DEFAULT_RULES
         self.ledger = (ledger if ledger is not None
                        else ledger_mod.RunLedger())
+        # The burn-rate engine behind /alerts and /healthz.  The
+        # default set is alerts_mod.DEFAULT_ALERT_SLOS -- narrower
+        # than self.rules on purpose (wall-clock and warm-cache
+        # objectives page nobody).
+        self.alerts = (alerts if alerts is not None
+                       else alerts_mod.AlertEngine())
+        self.alerts_lock = threading.Lock()
         self._httpd = _Server((host, port), _Handler)
         self._httpd.telemetry = self
         self._thread: Optional[threading.Thread] = None

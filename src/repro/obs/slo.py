@@ -3,7 +3,7 @@
 A rule is one line of text::
 
     engine.cache.hit_rate            >= 0.5
-    matrix.unknown_cells.pct         <= 10
+    matrix.unknown_cells.pct         <= 10      [critical]
     engine.cell.wall_seconds:p95     <= 0.25
     resolution.copies.total          >  0        ?
 
@@ -16,6 +16,12 @@ the numeric threshold.  A trailing ``?`` marks the rule *optional*:
 an absent metric is then reported as ``skipped`` instead of failing
 the evaluation (mandatory rules treat absence as a violation -- a
 missing metric usually means the instrumented path never ran).
+
+A trailing ``[critical]`` or ``[warn]`` tag sets the rule's
+*severity* -- the vocabulary the alert engine
+(:mod:`repro.obs.alerts`) shares with ``feam slo``: critical
+violations page (``/healthz`` degrades to 503 while they fire), warn
+violations inform.  Untagged rules default to ``warn``.
 
 :func:`evaluate` is pure (snapshot in, :class:`SloReport` out);
 :func:`check` additionally emits one ``slo.violation`` event per
@@ -41,11 +47,16 @@ _OPS = {
 
 _HISTOGRAM_STATS = ("count", "sum", "min", "max", "mean", "p50", "p95")
 
+#: The shared severity vocabulary: ``feam slo`` reports it, the alert
+#: engine (:mod:`repro.obs.alerts`) escalates on it.
+SEVERITIES = ("critical", "warn")
+
 _RULE_RE = re.compile(
     r"^(?P<metric>[A-Za-z0-9_.\-]+(?::[a-z0-9]+)?)\s*"
     r"(?P<op><=|>=|==|<|>)\s*"
     r"(?P<threshold>[-+]?[0-9]*\.?[0-9]+([eE][-+]?[0-9]+)?)\s*"
-    r"(?P<optional>\?)?$")
+    r"(?P<optional>\?)?\s*"
+    r"(?:\[(?P<severity>critical|warn)\])?$")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -56,6 +67,7 @@ class SloRule:
     op: str                        # one of _OPS
     threshold: float
     optional: bool = False
+    severity: str = "warn"         # one of SEVERITIES
 
     @property
     def name(self) -> str:
@@ -121,6 +133,8 @@ class SloReport:
                     "skipped": "SKIP"}[result.status]
             line = (f"{word}  {result.rule.name:<{width}}  "
                     f"observed={observed}")
+            if result.status == "fail":
+                line += f"  [{result.rule.severity}]"
             if result.reason:
                 line += f"  ({result.reason})"
             lines.append(line)
@@ -136,6 +150,7 @@ class SloReport:
                 "rule": result.rule.name,
                 "metric": result.rule.metric,
                 "status": result.status,
+                "severity": result.rule.severity,
                 "observed": result.observed,
                 "threshold": result.rule.threshold,
                 "reason": result.reason,
@@ -144,17 +159,19 @@ class SloReport:
 
 
 def parse_rule(line: str) -> SloRule:
-    """Parse one ``metric op threshold [?]`` line."""
+    """Parse one ``metric op threshold [?] [[severity]]`` line."""
     match = _RULE_RE.match(line.strip())
     if match is None:
         raise ValueError(f"unparsable SLO rule: {line.strip()!r} "
                          f"(expected 'metric <= 0.5', histogram stats "
-                         f"as 'name:p95', trailing '?' for optional)")
+                         f"as 'name:p95', trailing '?' for optional, "
+                         f"'[critical]'/'[warn]' for severity)")
     return SloRule(
         metric=match.group("metric"),
         op=match.group("op"),
         threshold=float(match.group("threshold")),
-        optional=match.group("optional") is not None)
+        optional=match.group("optional") is not None,
+        severity=match.group("severity") or "warn")
 
 
 def parse_rules(text: str) -> list[SloRule]:
@@ -175,15 +192,19 @@ def parse_rules(text: str) -> list[SloRule]:
 #: the tail sampler's drop count in every SLO report so a run whose
 #: sampling silently stopped dropping -- span memory ballooning -- is
 #: visible where operators already look.
+#: Severity tags make the lines burn-rate-ready: the alert engine
+#: (:mod:`repro.obs.alerts`) derives its default alert set from these
+#: same rules, so a rule that fails in ``feam slo`` and one that fires
+#: in ``feam alerts`` name the same severity.
 DEFAULT_RULES: tuple[SloRule, ...] = tuple(parse_rules("""
-    engine.cache.hit_rate          >= 0.5
-    matrix.unknown_cells.pct       <= 10
-    matrix.cells.total             >  0
-    engine.cell.wall_seconds:p95   <= 2     ?
-    engine.matrix.worker_utilization >= 0.1  ?
-    resilience.faults.injected     <= 0     ?
-    resilience.retries.total       <= 0     ?
-    obs.sampling.dropped           >= 0     ?
+    engine.cache.hit_rate          >= 0.5          [warn]
+    matrix.unknown_cells.pct       <= 10           [critical]
+    matrix.cells.total             >  0            [critical]
+    engine.cell.wall_seconds:p95   <= 2     ?      [warn]
+    engine.matrix.worker_utilization >= 0.1  ?     [warn]
+    resilience.faults.injected     <= 0     ?      [critical]
+    resilience.retries.total       <= 0     ?      [warn]
+    obs.sampling.dropped           >= 0     ?      [warn]
 """))
 
 
@@ -224,6 +245,7 @@ def check(rules: Sequence[SloRule],
     for result in report.violations:
         obs.event("slo.violation", rule=result.rule.name,
                   metric=result.rule.metric,
+                  severity=result.rule.severity,
                   observed=result.observed,
                   threshold=result.rule.threshold,
                   reason=result.reason or "threshold crossed")

@@ -179,6 +179,17 @@ def render_frame(snap: dict, before: dict, interval: float,
         lines.append("breakers " + "  ".join(
             f"{word}={count}" for word, count in words.items()))
 
+    # The alert engine publishes these gauges per evaluation tick
+    # (repro.obs.alerts); absent gauges mean no engine ran, and the
+    # panel stays hidden rather than claiming "0 firing".
+    firing = _gauge(snap, "alerts.firing")
+    pending = _gauge(snap, "alerts.pending")
+    if firing is not None or pending is not None:
+        critical = _gauge(snap, "alerts.firing.critical") or 0
+        lines.append(
+            f"alerts   firing={int(firing or 0)} "
+            f"({int(critical)} critical)  pending={int(pending or 0)}")
+
     sampling_kept = _counter(snap, "obs.sampling.kept")
     sampling_dropped = _counter(snap, "obs.sampling.dropped")
     wide = _counter(snap, "obs.wide.emitted")

@@ -1,0 +1,175 @@
+"""``feam alerts`` end to end, plus the chaos alert wiring.
+
+The replay tests drive the CLI over the committed flaky-chaos fixture
+(the same stream the ``alert-gate`` CI job replays) and over synthetic
+clean streams; the exit-code contract is the point: 2 while anything
+is firing, 0 on a quiet fleet, 1 on operational errors.  The chaos
+tests assert the injected faults visibly trip alerts on stdout while
+``feam chaos`` itself keeps its exit-0 observability contract.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.__main__ import (
+    EXIT_FAILURE,
+    EXIT_OK,
+    EXIT_SLO_VIOLATION,
+    feam_main,
+)
+
+FIXTURE = os.path.join(os.path.dirname(__file__), os.pardir,
+                       "benchmarks", "wide_chaos_flaky.jsonl")
+
+
+def _clean_stream(path, cells=20):
+    """Schema-shaped wide events for a healthy uniform fleet."""
+    with open(path, "w", encoding="utf-8") as handle:
+        for index in range(cells):
+            handle.write(json.dumps({
+                "schema": 1,
+                "site": f"site-{index % 5}",
+                "binary": f"app-{index % 2}",
+                "content_group": f"group-{index % 5}",
+                "outcome": "no",
+                "ready": False,
+                "faulted": False,
+                "sim_seconds": 10.0 + (index % 5),
+                "attempts": 1,
+                "retry_seconds": 0.0,
+                "fault_kind": None,
+                "description_hit": True,
+                "discovery_hit": False,
+                "evaluation_hit": False,
+            }) + "\n")
+    return str(path)
+
+
+class TestReplayWide:
+    def test_committed_fixture_fires_and_exits_2(self, capsys):
+        assert os.path.exists(FIXTURE), \
+            "benchmarks/wide_chaos_flaky.jsonl must stay committed"
+        assert feam_main(["alerts", "--replay", FIXTURE]) \
+            == EXIT_SLO_VIOLATION
+        out, err = capsys.readouterr()
+        assert "FIRING" in out and "[critical]" in out
+        assert "faults:" in out         # per-kind injection counts
+        assert "replayed 20 wide event(s)" in err
+
+    def test_clean_stream_exits_0(self, tmp_path, capsys):
+        path = _clean_stream(tmp_path / "clean.jsonl")
+        assert feam_main(["alerts", "--replay", path]) == EXIT_OK
+        out = capsys.readouterr().out
+        assert "0 firing (0 critical)" in out
+
+    def test_json_payload(self, capsys):
+        assert feam_main(["alerts", "--replay", FIXTURE, "--json"]) \
+            == EXIT_SLO_VIOLATION
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["firing"]
+        keys = {status["alert"] for status in payload["firing"]}
+        assert "slo:resilience.faults.injected <= 0" in keys
+
+    def test_timeline_appends_transitions(self, tmp_path, capsys):
+        timeline = str(tmp_path / "timeline.jsonl")
+        assert feam_main(["alerts", "--replay", FIXTURE,
+                          "--timeline", timeline]) \
+            == EXIT_SLO_VIOLATION
+        err = capsys.readouterr().err
+        assert "transition(s) appended" in err
+        records = [json.loads(line) for line
+                   in open(timeline, encoding="utf-8")]
+        assert records
+        assert [r["seq"] for r in records] \
+            == list(range(1, len(records) + 1))
+        assert any(r["to"] == "firing" for r in records)
+        # Logical time only: byte-identical reruns depend on it.
+        assert not any("wall" in key or "time" in key
+                       for r in records for key in r)
+
+    def test_custom_rules_file(self, tmp_path, capsys):
+        rules = tmp_path / "rules.txt"
+        rules.write_text("matrix.cells.total > 1000 [critical]\n")
+        path = _clean_stream(tmp_path / "clean.jsonl")
+        assert feam_main(["alerts", "--replay", path,
+                          "--rules", str(rules)]) \
+            == EXIT_SLO_VIOLATION
+        assert "slo:matrix.cells.total > 1000" \
+            in capsys.readouterr().out
+
+    def test_bad_burn_flag_is_operational_failure(self, capsys):
+        assert feam_main(["alerts", "--replay", FIXTURE,
+                          "--burn", "6:2"]) == EXIT_FAILURE
+
+    def test_missing_replay_file_is_operational_failure(
+            self, tmp_path, capsys):
+        assert feam_main(["alerts", "--replay",
+                          str(tmp_path / "nope.jsonl")]) \
+            == EXIT_FAILURE
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_empty_replay_file_is_operational_failure(
+            self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert feam_main(["alerts", "--replay", str(empty)]) \
+            == EXIT_FAILURE
+        assert "no records" in capsys.readouterr().err
+
+
+class TestReplayLedger:
+    def _manifests(self, path, faults):
+        with open(path, "w", encoding="utf-8") as handle:
+            for index in range(3):
+                handle.write(json.dumps({
+                    "schema": 1,
+                    "run_id": f"run-{index}",
+                    "kind": "chaos" if faults else "matrix",
+                    "seed": 7,
+                    "rollup": {"cells": 20,
+                               "faults_injected": faults,
+                               "retries": 2 * faults},
+                }) + "\n")
+        return str(path)
+
+    def test_faulted_manifests_fire(self, tmp_path, capsys):
+        path = self._manifests(tmp_path / "runs.jsonl", faults=9)
+        assert feam_main(["alerts", "--replay", path]) \
+            == EXIT_SLO_VIOLATION
+        out, err = capsys.readouterr()
+        assert "replayed 3 ledger run(s) as 3 tick(s)" in err
+        assert "slo:rollup.faults_injected <= 0" in out
+
+    def test_clean_manifests_exit_0(self, tmp_path, capsys):
+        path = self._manifests(tmp_path / "runs.jsonl", faults=0)
+        assert feam_main(["alerts", "--replay", path]) == EXIT_OK
+
+
+class TestLiveMode:
+    def test_live_matrix_rounds_exit_0(self, capsys):
+        assert feam_main(["alerts", "--binaries", "1", "--rounds",
+                          "2", "--seed", "7"]) == EXIT_OK
+        out, err = capsys.readouterr()
+        assert "2 evaluation tick(s)" in err
+        assert "0 firing (0 critical)" in out
+
+
+class TestChaosWiring:
+    def test_chaos_stdout_shows_firing_alerts(self, tmp_path, capsys):
+        timeline = str(tmp_path / "chaos_timeline.jsonl")
+        # The observability contract: injected faults degrade cells
+        # and trip alerts, but `feam chaos` itself never crashes.
+        # The default 4 binaries x 5 paper sites = 20 wide events =
+        # two evaluation ticks, enough for the default for_ticks=2
+        # to reach firing.
+        assert feam_main(["chaos", "--profile", "flaky", "--seed",
+                          "7", "--timeline", timeline]) == EXIT_OK
+        out = capsys.readouterr().out
+        assert "alerts" in out and "------" in out
+        assert "FIRING" in out
+        assert "faults:" in out
+        records = [json.loads(line) for line
+                   in open(timeline, encoding="utf-8")]
+        assert any(r["to"] == "firing" for r in records)

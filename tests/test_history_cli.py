@@ -231,6 +231,45 @@ class TestDriftVerb:
         assert feam_main(["drift"]) == EXIT_FAILURE
         assert "at least one run" in capsys.readouterr().err
 
+    def test_insufficient_history_notice_exits_ok(self, capsys):
+        # Three matrix runs, latest against a --window of 10: only 2
+        # same-kind predecessors exist.  That is a notice, not a page.
+        ledger = RunLedger(ledger_dir())
+        for run_id in ("run-a", "run-b", "run-c"):
+            ledger.record({
+                "run_id": run_id, "kind": "matrix", "seed": 7,
+                "rollup": {"cells": 10, "outcomes": {"ready": 10},
+                           "sim": latency_digest([10.0] * 10),
+                           "cache": {"hit_rate": 0.5},
+                           "retries": 0, "faulted": 0},
+            })
+        assert feam_main(["drift", "--window", "10"]) == EXIT_OK
+        out = capsys.readouterr().out
+        assert "insufficient history (have 2, need 10)" in out
+
+    def test_insufficient_history_flag_in_json(self, capsys):
+        seeded_ledger()
+        assert feam_main(["drift", "--window", "10", "--json"]) \
+            == EXIT_OK
+        report = json.loads(capsys.readouterr().out)
+        assert report["insufficient_history"] is True
+
+    def test_full_window_has_no_notice(self, capsys):
+        # Two matrix runs and window 1: the single predecessor fills
+        # the window, so the notice must not appear.
+        ledger = RunLedger(ledger_dir())
+        for run_id in ("run-a", "run-b"):
+            ledger.record({
+                "run_id": run_id, "kind": "matrix", "seed": 7,
+                "rollup": {"cells": 10, "outcomes": {"ready": 10},
+                           "sim": latency_digest([10.0] * 10),
+                           "cache": {"hit_rate": 0.5},
+                           "retries": 0, "faulted": 0},
+            })
+        assert feam_main(["drift", "--window", "1"]) == EXIT_OK
+        assert "insufficient history" \
+            not in capsys.readouterr().out
+
 
 class TestFailFast:
     def test_watch_attach_unreachable_exits_once(self, capsys):

@@ -1,0 +1,165 @@
+"""Robust median/MAD anomaly detection over wide events.
+
+The statistics tests pin the Iglewicz--Hoaglin arithmetic on hand
+computable populations; the guard-rail tests assert the detector
+stays *silent* when it has no authority (zero MAD, too few groups);
+the integration tests run the real matrix feature extractor
+(``repro.core.engine.anomaly_features``) over schema-shaped wide
+records and check determinism end to end.
+"""
+
+import json
+
+from repro.core.engine import anomaly_features
+from repro.obs import anomaly as anomaly_mod
+from repro.obs.anomaly import (
+    Anomaly,
+    detect,
+    group_features,
+    robust_zscores,
+)
+
+
+def _record(group, sim=1.0, outcome="no", fault_kind=None,
+            attempts=1):
+    return {"content_group": group, "site": f"site-{group}",
+            "outcome": outcome, "fault_kind": fault_kind,
+            "attempts": attempts, "sim_seconds": sim,
+            "retry_seconds": 0.0, "description_hit": True,
+            "discovery_hit": False, "evaluation_hit": None,
+            "det_mpi_library_compatibility": "pass"}
+
+
+class TestMedian:
+    def test_odd_and_even_lengths(self):
+        assert anomaly_mod._median([3.0, 1.0, 2.0]) == 2.0
+        assert anomaly_mod._median([4.0, 1.0, 2.0, 3.0]) == 2.5
+        assert anomaly_mod._median([7.0]) == 7.0
+
+
+class TestGroupFeatures:
+    def test_means_per_group_and_feature(self):
+        records = [{"content_group": "a", "x": 1.0},
+                   {"content_group": "a", "x": 3.0},
+                   {"content_group": "b", "x": 10.0}]
+        means = group_features(records, lambda r: {"x": r["x"]})
+        assert means == {"a": {"x": 2.0}, "b": {"x": 10.0}}
+
+    def test_group_fallback_site_then_ungrouped(self):
+        records = [{"site": "fir", "x": 1.0}, {"x": 2.0}]
+        means = group_features(records, lambda r: {"x": r["x"]})
+        assert set(means) == {"fir", "(ungrouped)"}
+
+    def test_non_numeric_features_are_dropped(self):
+        means = group_features(
+            [{"content_group": "a"}],
+            lambda r: {"ok": 1.0, "label": "nope", "flag": True})
+        # bool is an int subclass and counts; strings do not.
+        assert means == {"a": {"flag": 1.0, "ok": 1.0}}
+
+
+class TestRobustZscores:
+    def _population(self, outlier=100.0):
+        by_group = {f"g{i}": {"x": float(v)} for i, v in
+                    enumerate([10.0, 11.0, 12.0, 13.0, 14.0])}
+        by_group["spike"] = {"x": outlier}
+        return by_group
+
+    def test_outlier_is_flagged_with_the_expected_score(self):
+        found = robust_zscores(self._population())
+        assert [a.group for a in found] == ["spike"]
+        spike = found[0]
+        # median 12.5, MAD 1.5: z = 0.6745 * 87.5 / 1.5
+        assert spike.median == 12.5 and spike.mad == 1.5
+        assert abs(spike.zscore - 0.6745 * 87.5 / 1.5) < 1e-3
+        assert spike.severity == "critical"
+        assert spike.key == "anomaly:x:spike"
+
+    def test_mild_outlier_is_warn_not_critical(self):
+        # z just over the 3.5 cutoff but under 2x.
+        found = robust_zscores(self._population(outlier=21.0))
+        assert [a.severity for a in found] == ["warn"]
+
+    def test_zero_mad_stays_silent(self):
+        by_group = {f"g{i}": {"x": 5.0} for i in range(5)}
+        by_group["spike"] = {"x": 500.0}
+        assert robust_zscores(by_group) == []
+
+    def test_min_groups_floor_stays_silent(self):
+        by_group = {"a": {"x": 1.0}, "b": {"x": 2.0},
+                    "c": {"x": 999.0}}
+        assert robust_zscores(by_group) == []
+        assert robust_zscores(by_group, min_groups=2)
+
+    def test_sorted_by_magnitude_then_name(self):
+        by_group = self._population()
+        for group in by_group:
+            by_group[group]["y"] = by_group[group]["x"]
+        found = robust_zscores(by_group)
+        assert [(a.feature, a.group) for a in found] \
+            == [("x", "spike"), ("y", "spike")]
+
+    def test_same_seed_same_output(self):
+        runs = [robust_zscores(self._population(), seed=7)
+                for _ in range(2)]
+        assert [a.to_dict() for a in runs[0]] \
+            == [a.to_dict() for a in runs[1]]
+
+
+class TestAnomalyFeatures:
+    def test_deterministic_features_only(self):
+        features = anomaly_features(_record("a", sim=2.5))
+        assert features["sim_seconds"] == 2.5
+        assert features["fault_rate"] == 0.0
+        assert features["unknown_rate"] == 0.0
+        assert features["cache_hit_rate"] == 0.5   # 1 hit of 2 known
+        assert features["det_mpi_library_compatibility_block_rate"] \
+            == 0.0
+        assert not any("wall" in name for name in features)
+
+    def test_faulted_unknown_record(self):
+        features = anomaly_features(_record(
+            "a", outcome="unknown", fault_kind="read-error"))
+        assert features["fault_rate"] == 1.0
+        assert features["unknown_rate"] == 1.0
+
+    def test_all_hits_unknown_drops_cache_rate(self):
+        record = _record("a")
+        record.update(description_hit=None, discovery_hit=None,
+                      evaluation_hit=None)
+        assert "cache_hit_rate" not in anomaly_features(record)
+
+
+class TestDetect:
+    def _fleet(self, groups=6, per_group=3, spiked="g0"):
+        records = []
+        for g in range(groups):
+            group = f"g{g}"
+            sim = 200.0 if group == spiked else 10.0 + g
+            records.extend(_record(group, sim=sim)
+                           for _ in range(per_group))
+        return records
+
+    def test_spiked_group_detected_via_real_extractor(self):
+        found = detect(self._fleet(), anomaly_features, seed=7)
+        assert any(a.feature == "sim_seconds" and a.group == "g0"
+                   for a in found)
+
+    def test_uniform_fleet_is_quiet(self):
+        records = self._fleet(spiked=None)
+        assert detect(records, anomaly_features, seed=7) == []
+
+    def test_same_seed_byte_identical(self):
+        payloads = [
+            json.dumps([a.to_dict() for a in
+                        detect(self._fleet(), anomaly_features,
+                               seed=7)], sort_keys=True)
+            for _ in range(2)]
+        assert payloads[0] == payloads[1]
+
+    def test_anomaly_to_dict_round_trip(self):
+        spike = Anomaly(feature="f", group="g", value=1.0,
+                        median=0.5, mad=0.1, zscore=4.0,
+                        severity="warn")
+        assert spike.to_dict()["zscore"] == 4.0
+        assert spike.key == "anomaly:f:g"

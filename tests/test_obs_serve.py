@@ -204,6 +204,26 @@ class TestEndpoints:
         status, body = _get(served.url + "/definitely-not")
         assert status == 404
         assert "/metrics" in body
+        assert "/alerts" in body
+
+    def test_build_info_gauge_on_metrics(self, served):
+        import repro
+        from repro.obs import alerts as alerts_mod
+        from repro.obs import ledger as ledger_mod
+        from repro.obs import wide as wide_mod
+
+        _, body = _get(served.url + "/metrics")
+        (line,) = [l for l in body.splitlines()
+                   if l.startswith("feam_build_info")]
+        assert line.endswith(" 1")
+        assert f'version="{repro.__version__}"' in line
+        assert f'wide_schema="{wide_mod.SCHEMA_VERSION}"' in line
+        assert f'ledger_schema="{ledger_mod.SCHEMA_VERSION}"' in line
+        assert f'alert_schema="{alerts_mod.SCHEMA_VERSION}"' in line
+        assert "# TYPE feam_build_info gauge" in body
+        # The renderer must still parse as clean exposition format.
+        samples = dict((n, v) for n, _, v in parse_exposition(body))
+        assert samples["feam_build_info"] == 1
 
     def test_default_collector_is_the_installed_one(self):
         with TelemetryServer(port=0) as server:
@@ -213,6 +233,108 @@ class TestEndpoints:
                 collector.metrics.counter("x").inc()
                 _, body = _get(server.url + "/metrics")
                 assert "feam_x_total 1" in body
+
+
+class TestAlertEndpoints:
+    """The serve exit/status contract around the alert engine.
+
+    ``/alerts`` is the only scrape that *ticks* the burn windows;
+    ``/healthz`` reads the same engine without advancing it, so a
+    liveness probe can poll at any frequency without paging anyone.
+    """
+
+    def _healthy(self, collector):
+        collector.metrics.gauge("matrix.cells.total").set(20)
+        collector.metrics.gauge("matrix.unknown_cells.pct").set(0.0)
+
+    def test_alerts_endpoint_503_body_while_firing(self):
+        # A bare registry violates the mandatory critical rules; the
+        # default for_ticks=2 means tick 1 is pending (200), tick 2
+        # fires (503).
+        with TelemetryServer(obs.Collector(), port=0) as server:
+            status, body = _get(server.url + "/alerts")
+            payload = json.loads(body)
+            assert status == 200
+            assert payload["tick"] == 1
+            assert payload["firing"] == []
+            assert [s["state"] for s in payload["pending"]] \
+                == ["pending"] * len(payload["pending"])
+
+            status, body = _get(server.url + "/alerts")
+            payload = json.loads(body)
+            assert status == 503
+            assert payload["tick"] == 2
+            firing = {s["alert"] for s in payload["firing"]}
+            assert "slo:matrix.cells.total > 0" in firing
+            assert all(s["severity"] == "critical"
+                       for s in payload["firing"])
+
+    def test_healthz_lifecycle_200_503_200(self):
+        collector = obs.Collector()
+        with TelemetryServer(collector, port=0) as server:
+            health = server.url + "/healthz"
+            alerts = server.url + "/alerts"
+
+            # Pending (tick 1): the probe must NOT page yet.
+            _get(alerts)
+            status, body = _get(health)
+            payload = json.loads(body)
+            assert status == 200
+            assert payload["status"] == "ok"
+            assert payload["alerts"]["pending"] > 0
+            assert payload["alerts"]["critical_firing"] is False
+
+            # Firing (tick 2): degraded, 503.
+            _get(alerts)
+            status, body = _get(health)
+            payload = json.loads(body)
+            assert status == 503
+            assert payload["status"] == "degraded"
+            assert payload["alerts"]["firing"] > 0
+            assert payload["alerts"]["critical_firing"] is True
+
+            # Healthz itself never ticks the engine: poll it again
+            # and the state is unchanged.
+            status, _ = _get(health)
+            assert status == 503
+            assert server.alerts.tick == 2
+
+            # Healthy metrics arrive; the next /alerts tick resolves
+            # (burn_fast drops below 1.0) and the probe recovers.
+            self._healthy(collector)
+            status, body = _get(alerts)
+            assert status == 200
+            assert json.loads(body)["firing"] == []
+            status, body = _get(health)
+            payload = json.loads(body)
+            assert status == 200
+            assert payload["status"] == "ok"
+            assert payload["alerts"]["firing"] == 0
+
+    def test_healthz_stays_ok_while_only_warn_alerts_fire(self):
+        from repro.obs import alerts as alerts_mod
+
+        engine = alerts_mod.AlertEngine(rules=[], emit_obs=False)
+        engine.set_condition("anomaly:x:g", True, severity="warn")
+        with TelemetryServer(obs.Collector(), port=0,
+                             alerts=engine) as server:
+            status, body = _get(server.url + "/healthz")
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["status"] == "ok"
+        assert payload["alerts"]["firing"] == 1
+        assert payload["alerts"]["critical_firing"] is False
+
+    def test_alerts_resolution_is_a_transition_not_amnesia(self):
+        collector = obs.Collector()
+        self._healthy(collector)
+        with TelemetryServer(collector, port=0) as server:
+            _get(server.url + "/alerts")
+            _, body = _get(server.url + "/alerts")
+        payload = json.loads(body)
+        # Healthy from the start: nothing ever pended or fired.
+        assert payload["transitions"] == 0
+        assert payload["alerts"] == []
 
 
 class TestServeDuringMatrix:

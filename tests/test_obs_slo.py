@@ -53,6 +53,31 @@ class TestParsing:
         assert len(slo.DEFAULT_RULES) >= 3
         assert any(r.optional for r in slo.DEFAULT_RULES)
 
+    def test_severity_tag(self):
+        rule = slo.parse_rule("matrix.cells.total > 0 [critical]")
+        assert rule.severity == "critical"
+        assert rule.name == "matrix.cells.total > 0"
+        assert slo.parse_rule("a.b >= 1 [warn]").severity == "warn"
+        assert slo.parse_rule("a.b >= 1").severity == "warn"
+
+    def test_severity_tag_composes_with_optional(self):
+        rule = slo.parse_rule("a.b:p95 <= 0.5 ? [critical]")
+        assert rule.optional and rule.severity == "critical"
+
+    def test_unknown_severity_raises(self):
+        with pytest.raises(ValueError):
+            slo.parse_rule("a.b >= 1 [page-everyone]")
+
+    def test_default_rules_carry_severities(self):
+        severities = {r.severity for r in slo.DEFAULT_RULES}
+        assert severities == {"critical", "warn"}
+
+    def test_severity_in_render_and_dict(self):
+        rules = slo.parse_rules("missing.metric > 0 [critical]")
+        report = slo.evaluate(rules, snapshot())
+        assert report.to_dict()["results"][0]["severity"] == "critical"
+        assert "[critical]" in report.render()
+
 
 class TestSelect:
     def test_gauge_wins_over_counter(self):

@@ -157,6 +157,21 @@ class TestRenderFrame:
         assert "breakers" not in frame
         assert "latency" not in frame
         assert "shards" not in frame
+        assert "alerts" not in frame         # no alert gauges yet
+
+    def test_alerts_panel_shows_firing_and_pending(self):
+        snap = _snap(gauges={"alerts.firing": 2,
+                             "alerts.firing.critical": 1,
+                             "alerts.pending": 3})
+        frame = render_frame(snap, {}, interval=1.0, elapsed=0.0)
+        assert "alerts   firing=2 (1 critical)  pending=3" in frame
+
+    def test_alerts_panel_appears_once_gauges_exist(self):
+        # A quiet engine still publishes zeros: the panel renders so
+        # the operator sees alerting is armed, not absent.
+        snap = _snap(gauges={"alerts.firing": 0, "alerts.pending": 0})
+        frame = render_frame(snap, {}, interval=1.0, elapsed=0.0)
+        assert "alerts   firing=0 (0 critical)  pending=0" in frame
 
 
 class TestRenderLine:
