@@ -3,8 +3,8 @@
 PYTHON ?= python3
 
 .PHONY: install test ci bench bench-matrix perf-gate fleet-gate \
-	telemetry-gate history-gate alert-gate chaos serve slo trace \
-	tables report examples clean
+	telemetry-gate history-gate alert-gate persist-gate chaos serve \
+	slo trace tables report examples clean
 
 # Run-ledger directory used by the history gate (wiped per run).
 HISTORY_LEDGER ?= .ci-runs
@@ -16,6 +16,9 @@ HISTORY_FAIL_ABOVE ?= 1.03
 
 # Wall-time budget (seconds) for the 1,000-site fleet evaluation.
 FLEET_BUDGET ?= 60
+
+# Persistent-cache directory used by the persist gate (wiped per run).
+PERSIST_CACHE ?= .ci-persist-cache
 
 install:
 	pip install -e .
@@ -47,6 +50,14 @@ telemetry-gate:
 
 alert-gate:
 	PYTHONPATH=src $(PYTHON) benchmarks/alert_gate.py
+
+# Cold fill -> fresh-process warm start (>=90% disk hits, >=5x faster,
+# byte-identical grid) -> byte-flipped record quarantined with outcomes
+# unchanged -> `feam cache verify` red on corruption, green after
+# `feam cache compact`.
+persist-gate:
+	PYTHONPATH=src $(PYTHON) benchmarks/persist_gate.py \
+		--cache-dir $(PERSIST_CACHE)
 
 # Two fresh-process matrix runs must land two ledger entries and
 # compare clean; the flaky chaos run must then trip the same gate.

@@ -183,6 +183,7 @@ def feam_main(argv: Optional[list[str]] = None) -> int:
              "to it unless --journal names another file")
     _add_telemetry_args(matrix)
     _add_ledger_args(matrix)
+    _add_cache_args(matrix)
 
     chaos = sub.add_parser(
         "chaos",
@@ -231,6 +232,7 @@ def feam_main(argv: Optional[list[str]] = None) -> int:
              "this incident-timeline JSONL file")
     _add_telemetry_args(chaos)
     _add_ledger_args(chaos)
+    _add_cache_args(chaos)
 
     trace = sub.add_parser(
         "trace",
@@ -579,6 +581,25 @@ def feam_main(argv: Optional[list[str]] = None) -> int:
     alerts.add_argument("--workers", type=int, default=None,
                         help="thread-pool size")
 
+    cache = sub.add_parser(
+        "cache",
+        help="inspect and maintain the persistent evaluation cache "
+             "(the on-disk tier under the engine's caches)")
+    cache.add_argument(
+        "action", choices=("stats", "verify", "compact", "clear"),
+        help="stats = per-layer entry/byte counts; verify = full "
+             "integrity check (exit 1 on any corrupt, torn or "
+             "newer-schema record); compact = rewrite segments "
+             "dropping superseded/corrupt lines and applying the LRU "
+             "byte cap; clear = delete every segment")
+    cache.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="cache directory (default: $FEAM_CACHE_DIR, then the "
+             "cache_dir config key)")
+    cache.add_argument(
+        "--json", action="store_true",
+        help="emit the report as JSON")
+
     args = parser.parse_args(argv)
     if args.command == "matrix":
         return _feam_matrix(args)
@@ -608,6 +629,8 @@ def feam_main(argv: Optional[list[str]] = None) -> int:
         return _feam_drift(args)
     if args.command == "alerts":
         return _feam_alerts(args)
+    if args.command == "cache":
+        return _feam_cache(args)
     return 2  # pragma: no cover - argparse enforces the choices
 
 
@@ -707,6 +730,120 @@ def _ledger_from_args(args, config):
                      max_runs=config.ledger_max_runs)
 
 
+def _add_cache_args(parser) -> None:
+    """The shared ``feam matrix`` / ``feam chaos`` persistent-cache flags."""
+    parser.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="persistent evaluation cache directory: descriptions, "
+             "discoveries and evaluations persist across runs and "
+             "warm-start the next process (default: $FEAM_CACHE_DIR, "
+             "then the cache_dir config key; unset = in-memory only)")
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="do not read or write the persistent cache this run")
+
+
+def _cache_dir(args, config) -> str:
+    """--cache-dir, then $FEAM_CACHE_DIR, then the config key."""
+    return (getattr(args, "cache_dir", None)
+            or os.environ.get("FEAM_CACHE_DIR")
+            or config.cache_dir)
+
+
+def _persist_from_args(args, config):
+    """The persistent store for this run, or None (no dir / --no-cache).
+
+    The store's scope digests the seed and sites spec, so hand-built
+    worlds from different seeds never share discovery records;
+    content-keyed fleet records are content-addressed and scope-free.
+    """
+    from repro.core.persist import PersistentStore
+    from repro.util.hashing import stable_digest
+
+    if getattr(args, "no_cache", False) or not config.persist:
+        return None
+    directory = _cache_dir(args, config)
+    if not directory:
+        return None
+    scope = stable_digest(str(getattr(args, "seed", "")),
+                          getattr(args, "sites", None) or "paper")[:16]
+    return PersistentStore(directory,
+                           max_bytes=config.cache_max_bytes,
+                           scope=scope)
+
+
+def _feam_cache(args) -> int:
+    import json as json_mod
+
+    from repro.core.config import FeamConfig
+    from repro.core.persist import LAYERS, PersistentStore
+
+    config = FeamConfig()
+    directory = _cache_dir(args, config)
+    if not directory:
+        print("no cache directory: give --cache-dir, set "
+              "$FEAM_CACHE_DIR, or set the cache_dir config key",
+              file=sys.stderr)
+        return EXIT_FAILURE
+    try:
+        store = PersistentStore(directory,
+                                max_bytes=config.cache_max_bytes)
+    except OSError as exc:
+        print(f"cannot open cache {directory!r}: {exc}",
+              file=sys.stderr)
+        return EXIT_FAILURE
+    try:
+        if args.action == "stats":
+            stats = store.stats()
+            if args.json:
+                print(json_mod.dumps(stats, indent=2, sort_keys=True))
+                return EXIT_OK
+            print(f"cache: {stats['directory']} "
+                  f"(schema {stats['schema']})")
+            for layer in LAYERS:
+                info = stats["layers"][layer]
+                print(f"  {layer:<12} {info['entries']:>6} entries  "
+                      f"{info['bytes']:>10} bytes")
+            print(f"  {'total':<12} {stats['entries']:>6} entries  "
+                  f"{stats['bytes']:>10} bytes "
+                  f"(cap {stats['max_bytes']} bytes/segment)")
+            return EXIT_OK
+        if args.action == "verify":
+            report = store.verify()
+            if args.json:
+                print(json_mod.dumps(report, indent=2, sort_keys=True))
+            else:
+                for layer in LAYERS:
+                    info = report["layers"][layer]
+                    issues = {k: v for k, v in info.items()
+                              if k not in ("entries", "bytes") and v}
+                    detail = (", ".join(f"{k}={v}" for k, v
+                                        in sorted(issues.items()))
+                              or "clean")
+                    print(f"  {layer:<12} {info['entries']:>6} "
+                          f"entries  {detail}")
+                print("store: " + ("OK" if report["ok"] else "CORRUPT"))
+            return EXIT_OK if report["ok"] else EXIT_FAILURE
+        if args.action == "compact":
+            summary = store.compact()
+            if args.json:
+                print(json_mod.dumps(summary, indent=2, sort_keys=True))
+            else:
+                for layer in LAYERS:
+                    info = summary[layer]
+                    print(f"  {layer:<12} kept {info['kept']}, "
+                          f"evicted {info['evicted']}, "
+                          f"{info['bytes']} bytes")
+            return EXIT_OK
+        if args.action == "clear":
+            dropped = store.clear()
+            print(f"cleared {dropped} entries from {directory}")
+            return EXIT_OK
+        return EXIT_FAILURE  # pragma: no cover - argparse enforces
+    finally:
+        store.close()
+
+
 def _record_matrix_run(ledger, args, engine, result, collector,
                        wide_sink, kind: str,
                        fault_profile: Optional[str] = None) -> None:
@@ -763,7 +900,17 @@ def _build_matrix_inputs(args):
         print(f"bad --sites spec: {exc}", file=sys.stderr)
         return None
     print(describe_fleet(sites), file=sys.stderr)
-    engine = EvaluationEngine(max_workers=args.workers)
+    from repro.core.config import FeamConfig
+    config = FeamConfig()
+    try:
+        store = _persist_from_args(args, config)
+    except OSError as exc:
+        print(f"cannot open persistent cache: {exc}", file=sys.stderr)
+        return None
+    if store is not None:
+        print(f"persistent cache: {store.directory}", file=sys.stderr)
+    engine = EvaluationEngine(config=config, max_workers=args.workers,
+                              persist=store)
     feam = Feam(engine=engine)
     binaries: list[EngineBinary] = []
     bundles = {}
@@ -784,21 +931,43 @@ def _build_matrix_inputs(args):
     return sites, engine, binaries, bundles
 
 
+def _journal_identity(args) -> dict:
+    """The run-identity header stamped into (and checked against) a
+    matrix journal: resuming cells computed under a different config,
+    world seed or site set would silently corrupt the matrix."""
+    from repro.core.config import FeamConfig
+    from repro.util.hashing import stable_digest
+
+    return {
+        "config_fingerprint": stable_digest(
+            FeamConfig().render())[:16],
+        "sites_spec": getattr(args, "sites", None) or "paper",
+        "seed": args.seed,
+    }
+
+
 def _open_checkpoint(args):
     """``(journal, resume)`` from --journal/--resume, or None on error.
 
     With --resume but no --journal, new cells are appended back to the
     resume file itself, so repeated resumes converge on one journal.
+    A journal whose identity header contradicts this run's config
+    fingerprint, seed or sites spec is refused (exit 1), not silently
+    restored.
     """
     from repro.core.resilience import MatrixJournal
 
+    identity = _journal_identity(args)
     resume = None
     if getattr(args, "resume", None):
         try:
-            resume = MatrixJournal.load(args.resume)
+            resume = MatrixJournal.load(args.resume, expect=identity)
         except OSError as exc:
             print(f"cannot read journal {args.resume!r}: {exc}",
                   file=sys.stderr)
+            return None
+        except ValueError as exc:
+            print(f"cannot resume: {exc}", file=sys.stderr)
             return None
         print(f"resuming: {len(resume)} cell(s) already journaled in "
               f"{args.resume}", file=sys.stderr)
@@ -807,7 +976,7 @@ def _open_checkpoint(args):
         or getattr(args, "resume", None)
     if journal_path:
         try:
-            journal = MatrixJournal(journal_path)
+            journal = MatrixJournal(journal_path, header=identity)
         except OSError as exc:
             print(f"cannot open journal {journal_path!r}: {exc}",
                   file=sys.stderr)
@@ -849,6 +1018,7 @@ def _feam_matrix(args) -> int:
             print(f"trace written to {args.trace_out} "
                   f"({len(collector.spans)} spans)", file=sys.stderr)
     finally:
+        engine.close()
         if journal is not None:
             journal.close()
         if wide_sink is not None:
@@ -1008,6 +1178,7 @@ def _feam_chaos(args) -> int:
                     wide_sink=alert_feed, sampler=sampler)
     finally:
         faults_mod.FaultPlan.disarm(sites)
+        engine.close()
         if journal is not None:
             journal.close()
         if wide_sink is not None:
@@ -1042,8 +1213,12 @@ def _feam_stats(args) -> int:
     sites, engine, binaries, bundles = inputs
     print(f"evaluating {len(binaries)} binaries x {len(sites)} sites...",
           file=sys.stderr)
-    with obs.capture() as collector:
-        engine.evaluate_matrix(binaries, sites, bundles=bundles or None)
+    try:
+        with obs.capture() as collector:
+            engine.evaluate_matrix(binaries, sites,
+                                   bundles=bundles or None)
+    finally:
+        engine.close()
     print(collector.metrics.render(limit=max(1, args.top)))
     return 0
 

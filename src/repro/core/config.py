@@ -83,6 +83,13 @@ class FeamConfig:
     ledger_dir: str = ".feam/runs"
     #: Run ledger: manifests kept before oldest-run eviction.
     ledger_max_runs: int = 512
+    #: Persistent cache: store directory (``FEAM_CACHE_DIR`` and the
+    #: ``--cache-dir`` flag override it; empty = no on-disk tier).
+    cache_dir: str = ""
+    #: Persistent cache: per-segment byte cap before LRU eviction.
+    cache_max_bytes: int = 64 * 1024 * 1024
+    #: Persistent cache: master switch (``--no-cache`` clears it).
+    persist: bool = True
 
     def mpiexec_for(self, mpi_type: Optional[str]) -> str:
         """The launch command for an MPI type (Section V.C default)."""
@@ -104,7 +111,8 @@ class FeamConfig:
         (``matrix_workers``, ``cache_shards``), the telemetry keys
         (``wide_ring_size``, ``sampling_head_n``,
         ``sampling_latency_slo_seconds``), the run-ledger keys
-        (``ledger_dir``, ``ledger_max_runs``), and
+        (``ledger_dir``, ``ledger_max_runs``), the persistent-cache
+        keys (``cache_dir``, ``cache_max_bytes``, ``persist``), and
         ``mpiexec.<MPI type>`` overrides.
         """
         kwargs: dict = {}
@@ -120,14 +128,22 @@ class FeamConfig:
             if key.startswith("mpiexec."):
                 overrides[key[len("mpiexec."):]] = value
             elif key in ("serial_queue", "parallel_queue",
-                         "staging_root", "output_root", "ledger_dir"):
+                         "staging_root", "output_root", "ledger_dir",
+                         "cache_dir"):
                 kwargs[key] = value
             elif key in ("hello_nprocs", "max_resolution_depth",
                          "retry_max_attempts", "breaker_failure_threshold",
                          "breaker_probe_after", "matrix_workers",
                          "cache_shards", "wide_ring_size",
-                         "sampling_head_n", "ledger_max_runs"):
+                         "sampling_head_n", "ledger_max_runs",
+                         "cache_max_bytes"):
                 kwargs[key] = int(value)
+            elif key == "persist":
+                if value.lower() not in ("true", "false"):
+                    raise ValueError(
+                        f"config line {lineno}: persist must be "
+                        "true or false")
+                kwargs[key] = value.lower() == "true"
             elif key in ("feam_base_seconds", "feam_seconds_per_dependency",
                          "stack_assessment_seconds", "library_check_seconds",
                          "resolution_seconds_per_library",
@@ -175,6 +191,9 @@ class FeamConfig:
             f"{self.sampling_latency_slo_seconds}",
             f"ledger_dir = {self.ledger_dir}",
             f"ledger_max_runs = {self.ledger_max_runs}",
+            f"cache_dir = {self.cache_dir}",
+            f"cache_max_bytes = {self.cache_max_bytes}",
+            f"persist = {'true' if self.persist else 'false'}",
         ]
         for mpi_type, command in sorted(self.mpiexec_overrides.items()):
             lines.append(f"mpiexec.{mpi_type} = {command}")

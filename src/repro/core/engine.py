@@ -73,6 +73,7 @@ from repro.core.evaluation import (
     TargetEvaluationComponent,
     TargetReport,
 )
+from repro.core import persist as persist_mod
 from repro.core.prediction import (
     Determinant,
     DeterminantResult,
@@ -185,7 +186,7 @@ def cell_from_record(record: dict) -> "MatrixCell":
         environment=_unknown_environment(record["site"]),
         feam_seconds=float(record.get("feam_seconds", 0.0)),
         cache=CellCacheInfo(description_hit=True, discovery_hit=True,
-                            evaluation_hit=True),
+                            evaluation_hit=True, tier="journal"),
         failure=(FailureProvenance.from_dict(fault)
                  if fault is not None else None))
     return MatrixCell(binary_id=record["binary"],
@@ -225,6 +226,8 @@ def wide_record(cell: "MatrixCell", *, worker: str = "worker-0",
         "description_hit": report.cache.description_hit,
         "discovery_hit": report.cache.discovery_hit,
         "evaluation_hit": report.cache.evaluation_hit,
+        "cache_tier": (report.cache.tier
+                       if report.cache is not None else None),
         "attempts": failure.attempts if failure is not None else 1,
         "retry_seconds": (round(failure.retry_seconds, 6)
                           if failure is not None else 0.0),
@@ -346,11 +349,14 @@ def run_rollup(result: "MatrixResult",
             + stats.evaluation_hits)
     lookups = (hits + stats.description_misses + stats.discovery_misses
                + stats.evaluation_misses)
-    cache = dataclasses.asdict(stats)
-    cache["hit_rate"] = round(hits / lookups, 6) if lookups else None
-
     counters = (snapshot or {}).get("counters", {})
     histograms = (snapshot or {}).get("histograms", {})
+    cache = dataclasses.asdict(stats)
+    cache["hit_rate"] = round(hits / lookups, 6) if lookups else None
+    # Persistent-tier provenance: lets `feam compare` / `feam drift`
+    # attribute a latency regression to a cold or poisoned disk cache.
+    cache["disk_hits"] = counters.get("persist.cache.disk_hits", 0)
+    cache["quarantined"] = counters.get("persist.cache.quarantined", 0)
     rollup = {
         "cells": len(cells),
         "outcomes": outcomes,
@@ -542,12 +548,18 @@ class EvaluationEngine:
     def __init__(self, config: Optional[FeamConfig] = None,
                  registry: Optional[DeterminantRegistry] = None,
                  max_workers: Optional[int] = None,
-                 resilience: Optional[ResiliencePolicy] = None) -> None:
+                 resilience: Optional[ResiliencePolicy] = None,
+                 persist: Optional[persist_mod.PersistentStore] = None,
+                 ) -> None:
         self.config = config or FeamConfig()
         self.registry = registry
         self.max_workers = max_workers
         self.resilience = resilience or ResiliencePolicy.from_config(
             self.config)
+        #: Optional on-disk tier under the in-memory caches; a disk hit
+        #: back-fills the shard (`put` + `note_hit`) so layer hit rates
+        #: count it, a clean fresh computation writes behind.
+        self.persist = persist
         shards = max(1, self.config.cache_shards)
         self._tecs: ShardedMap = ShardedMap(shards)
         self._fingerprints: ShardedMap = ShardedMap(shards)
@@ -571,6 +583,14 @@ class EvaluationEngine:
             evaluation_hits=self._reports.hits,
             evaluation_misses=self._reports.misses)
 
+    def close(self) -> None:
+        """Flush the persistent tier (compacting if over cap), if any.
+
+        The in-memory caches need no teardown; calling this is only
+        required when the engine was built with a store."""
+        if self.persist is not None:
+            self.persist.close()
+
     # -- per-site services ---------------------------------------------------------
 
     def tec_for(self, site) -> TargetEvaluationComponent:
@@ -590,6 +610,18 @@ class EvaluationEngine:
         return {name: breaker.state.value
                 for name, breaker in sorted(self._breakers.items())}
 
+    def _discovery_store_key(self, site, content) -> str:
+        """The site's discovery key in the persistent store.
+
+        Content-group sites are content-addressed (any run that builds
+        the same equivalence class reuses the record); hand-built
+        sites are scoped by the store's scope digest (seed + spec), so
+        worlds built from different seeds never share discoveries.
+        """
+        if content is not None:
+            return persist_mod.discovery_key("content", content)
+        return persist_mod.discovery_key(self.persist.scope, site.name)
+
     def _discover(self, site) -> tuple[object, bool, float]:
         """(environment, was it a cache hit, simulated retry seconds)."""
         tec = self.tec_for(site)
@@ -604,6 +636,18 @@ class EvaluationEngine:
                 tec.adopt_environment(dataclasses.replace(
                     shared, hostname=site.name))
                 hit = True
+        disk_hit = False
+        if not hit and self.persist is not None:
+            stored = self.persist.load(
+                "discovery", self._discovery_store_key(site, content))
+            if stored is not None:
+                environment = persist_mod.environment_from_payload(
+                    stored["environment"])
+                tec.adopt_environment(dataclasses.replace(
+                    environment, hostname=site.name))
+                if content is not None:
+                    self._content_environments.put(content, environment)
+                hit = disk_hit = True
         retry_seconds = 0.0
         with obs.span("engine.discover", site=site.name, hit=hit):
             started = time.perf_counter()
@@ -616,12 +660,22 @@ class EvaluationEngine:
                     deadline_seconds=self.resilience.cell_deadline_seconds)
                 if content is not None:
                     self._content_environments.put(content, environment)
+                if self.persist is not None:
+                    # Write-behind: the environment itself is
+                    # deterministic even when discovery needed retries.
+                    self.persist.store(
+                        "discovery",
+                        self._discovery_store_key(site, content),
+                        {"environment":
+                         persist_mod.environment_to_payload(environment)})
             obs.histogram("engine.discover.seconds").observe(
                 time.perf_counter() - started)
         if hit:
             self._discovery_counter.hit(site.name)
         else:
             self._discovery_counter.miss(site.name)
+        if disk_hit:
+            obs.counter("engine.cache.discovery.disk_hits").inc()
         if self._fingerprints.peek(site.name) is None:
             self._fingerprints.put(
                 site.name, environment_fingerprint(environment))
@@ -646,7 +700,8 @@ class EvaluationEngine:
         tec = self.tec_for(site)
         tec.invalidate_environment()
         self._discovery_counter.miss(site.name)
-        new = environment_fingerprint(tec.environment())
+        environment = tec.environment()
+        new = environment_fingerprint(environment)
         self._fingerprints.put(site.name, new)
         changed = old is not None and old != new
         if changed:
@@ -657,6 +712,15 @@ class EvaluationEngine:
             obs.event("engine.site_invalidated", site=site.name,
                       dropped_cells=dropped, old=old, new=new)
             obs.counter("engine.invalidations").inc()
+        if self.persist is not None:
+            # Supersede the stored discovery (newest record wins); stale
+            # evaluation records die by fingerprint binding, not here.
+            self.persist.store(
+                "discovery",
+                self._discovery_store_key(
+                    site, getattr(site, "content_key", None)),
+                {"environment":
+                 persist_mod.environment_to_payload(environment)})
         return changed
 
     # -- description cache -----------------------------------------------------------
@@ -679,6 +743,16 @@ class EvaluationEngine:
         if cached is not None:
             obs.counter("engine.cache.description.hits").inc()
             return cached, True
+        if self.persist is not None:
+            stored = self.persist.load(
+                "description",
+                persist_mod.description_key(key[0], binary_path))
+            if stored is not None:
+                description = persist_mod.description_from_payload(stored)
+                self._descriptions.put(key, description)
+                self._descriptions.note_hit(key)
+                obs.counter("engine.cache.description.hits").inc()
+                return description, True
         with obs.span("engine.describe", site=site.name, path=binary_path,
                       hit=False):
             started = time.perf_counter()
@@ -693,6 +767,11 @@ class EvaluationEngine:
                 time.perf_counter() - started)
         self._descriptions.store(key, description)
         obs.counter("engine.cache.description.misses").inc()
+        if self.persist is not None:
+            self.persist.store(
+                "description",
+                persist_mod.description_key(key[0], binary_path),
+                persist_mod.description_to_payload(description))
         return description, False
 
     # -- cell evaluation ---------------------------------------------------------------
@@ -834,7 +913,28 @@ class EvaluationEngine:
                 cached, environment=environment,
                 cache=CellCacheInfo(
                     description_hit=True, discovery_hit=True,
-                    evaluation_hit=True))
+                    evaluation_hit=True, tier="memory"))
+
+        if self.persist is not None:
+            # Read-through: a fresh process warm-starts from disk.  The
+            # non-content key already folds in the site fingerprint;
+            # the record's binding is the belt-and-braces check.
+            stored = self.persist.load(
+                "evaluation", persist_mod.evaluation_key(key),
+                fingerprint=(None if content is not None
+                             else fingerprint))
+            if stored is not None:
+                report = persist_mod.report_from_payload(stored)
+                if report.environment.hostname != site.name:
+                    report.environment = dataclasses.replace(
+                        report.environment, hostname=site.name)
+                report.cache = CellCacheInfo(
+                    description_hit=True, discovery_hit=True,
+                    evaluation_hit=True, tier="disk")
+                self._reports.put(key, report)
+                self._reports.note_hit(key)
+                obs.counter("engine.cache.evaluation.hits").inc()
+                return report
 
         tec = self.tec_for(site)
 
@@ -859,6 +959,16 @@ class EvaluationEngine:
             evaluation_hit=False)
         self._reports.store(key, report)
         obs.counter("engine.cache.evaluation.misses").inc()
+        if (self.persist is not None
+                and not retry_seconds and not discover_retry_seconds):
+            # Write-behind -- clean evaluations only.  A cell that
+            # needed retries carries fault-inflated simulated seconds;
+            # persisting it would poison a later clean warm run.
+            self.persist.store(
+                "evaluation", persist_mod.evaluation_key(key),
+                persist_mod.report_to_payload(report),
+                fingerprint=(None if content is not None
+                             else fingerprint))
         return report
 
     # -- the matrix ----------------------------------------------------------------------

@@ -281,7 +281,25 @@ class MatrixJournal(JsonlAppender):
     Records are wall-clock-free: two runs of a deterministic matrix
     produce byte-identical journals.  The write/read discipline is the
     shared :mod:`repro.util.jsonl` one.
+
+    A *header* dict stamps run identity (config fingerprint, sites
+    spec, seed) as the journal's first line -- written only when the
+    file is empty, so appending to an existing journal never re-stamps
+    it.  :meth:`load` refuses to resume from a journal whose header
+    contradicts the *expect* identity: silently restoring cells that
+    were computed under a different config or world is a correctness
+    bug, not a convenience.  Headerless journals from older runs still
+    load (no identity to contradict).
     """
+
+    def __init__(self, path: str,
+                 header: Optional[dict] = None) -> None:
+        super().__init__(path)
+        if header and self._handle.tell() == 0:
+            self.append({"journal_header": 1, **header})
+            # ``written`` keeps counting cells only; the header is
+            # identity metadata, not a checkpointed cell.
+            self.written = 0
 
     def record(self, payload: dict) -> None:
         self.append(payload)
@@ -290,11 +308,27 @@ class MatrixJournal(JsonlAppender):
         return self
 
     @staticmethod
-    def load(path: str) -> dict[tuple[str, str], dict]:
+    def load(path: str,
+             expect: Optional[dict] = None) -> dict[tuple[str, str], dict]:
         """(binary_id, site) -> cell record.  Tolerates a torn final
-        line (the kill may have landed mid-write)."""
+        line (the kill may have landed mid-write).
+
+        With *expect* (identity keys as passed to the constructor's
+        *header*), a journal whose header disagrees on any expected
+        key raises ``ValueError`` naming the mismatch.
+        """
         completed: dict[tuple[str, str], dict] = {}
         for record in read_jsonl(path):
+            if "journal_header" in record:
+                for key, value in (expect or {}).items():
+                    found = record.get(key)
+                    if found != value:
+                        raise ValueError(
+                            f"journal {path} was written for {key}="
+                            f"{found!r}, this run has {key}={value!r}; "
+                            "refusing to resume from a different "
+                            "run's journal")
+                continue
             key = (record.get("binary"), record.get("site"))
             if None not in key:
                 completed[key] = record

@@ -73,6 +73,18 @@ class ShardedMap:
             shard.entries[key] = value
             shard.misses += 1
 
+    def note_hit(self, key) -> None:
+        """Credit a hit served for *key* outside :meth:`lookup`.
+
+        The persistent tier uses this: a read-through disk hit fills
+        the shard via :meth:`put` (uncounted) and then credits the hit
+        here, so layer hit rates count disk-served values as hits
+        rather than misses.
+        """
+        shard = self._shard_for(key)
+        with shard.lock:
+            shard.hits += 1
+
     # -- uncounted mapping protocol ------------------------------------------
 
     def peek(self, key) -> Optional[V]:

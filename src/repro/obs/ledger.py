@@ -38,7 +38,7 @@ import time
 from typing import Optional, Sequence
 
 from repro.util.hashing import stable_digest
-from repro.util.jsonl import JsonlAppender, read_jsonl, write_jsonl
+from repro.util.jsonl import JsonlAppender, cap_jsonl, read_jsonl
 
 #: Version of the manifest layout.  Bump when a field changes meaning
 #: or disappears; adding fields is backwards-compatible.
@@ -148,14 +148,9 @@ class RunLedger:
 
     def _evict(self) -> int:
         """Drop oldest manifests beyond the cap; returns the count."""
-        runs = self.runs()
-        excess = len(runs) - self.max_runs
-        if excess <= 0:
-            return 0
-        write_jsonl(self.path, runs[excess:])
-        from repro import obs
-        obs.counter("ledger.evicted").inc(excess)
-        return excess
+        return cap_jsonl(self.path, self.runs(),
+                         max_records=self.max_runs,
+                         counter="ledger.evicted")
 
     # -- reading -------------------------------------------------------
 

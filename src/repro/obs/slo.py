@@ -205,6 +205,7 @@ DEFAULT_RULES: tuple[SloRule, ...] = tuple(parse_rules("""
     resilience.faults.injected     <= 0     ?      [critical]
     resilience.retries.total       <= 0     ?      [warn]
     obs.sampling.dropped           >= 0     ?      [warn]
+    persist.cache.quarantined      <= 0     ?      [critical]
 """))
 
 

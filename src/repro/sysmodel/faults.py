@@ -57,6 +57,12 @@ class FaultKind(enum.Enum):
     ELF_CORRUPTION = "elf-corruption"
     #: A library copy dies mid-transfer while the resolution model stages.
     COPY_FAILURE = "copy-failure"
+    #: A persistent-cache append is cut short (power loss mid-write):
+    #: the stored line is truncated and undecodable on the next read.
+    CACHE_TORN_WRITE = "cache-torn-write"
+    #: A persistent-cache record rots at rest (bit flip): its content
+    #: checksum no longer matches and the reader must quarantine it.
+    CACHE_CORRUPTION = "cache-corruption"
 
 
 _KINDS_BY_VALUE = {kind.value: kind for kind in FaultKind}
@@ -131,6 +137,13 @@ PROFILES: dict[str, str] = {
     "corrupt": "\n".join([
         "elf-truncation @ * rate=0.25 persistent",
         "elf-corruption @ * rate=0.25 persistent",
+    ]),
+    # Durability chaos against the persistent evaluation cache: appends
+    # tear mid-line, records rot at rest.  The store must quarantine
+    # and recompute -- cell outcomes may never change.
+    "cache": "\n".join([
+        "cache-torn-write  @ * rate=0.3 persistent",
+        "cache-corruption  @ * rate=0.3 persistent",
     ]),
 }
 
@@ -294,6 +307,23 @@ class FaultPlan:
                     else InjectedFault)
         raise exc_type(kind, site, key, spec.transient, occurrence)
 
+    def fires(self, site: str, kind: FaultKind, key: str = "") -> int:
+        """0 when the opportunity passes clean; else the occurrence number.
+
+        The non-raising fire decision: injection points that perturb
+        data instead of failing (the persistent cache's torn-write /
+        at-rest-corruption kinds) ask whether to fire and apply their
+        own perturbation.  A fired opportunity is recorded exactly like
+        a raised one (``fault.injected`` event + counters).
+        """
+        spec = self._spec_for(kind, site)
+        if spec is None:
+            return 0
+        occurrence = self._fires(spec, site, key)
+        if occurrence:
+            self._record(spec, site, key, occurrence)
+        return occurrence
+
     def filter_image(self, site: str, key: str, data: bytes) -> bytes:
         """Perturb ELF bytes (truncation/corruption); non-ELF data and
         clean opportunities pass through untouched."""
@@ -409,3 +439,11 @@ def filter_image(site: str, key: str, data: bytes) -> bytes:
     if plan is None:
         return data
     return plan.filter_image(site, key, data)
+
+
+def fires(site: str, kind: FaultKind, key: str = "") -> int:
+    """Facade non-raising fire decision: 0 unless a plan is installed."""
+    plan = _active
+    if plan is None:
+        return 0
+    return plan.fires(site, kind, key)

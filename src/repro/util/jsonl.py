@@ -18,6 +18,14 @@ This module is the single home for that idiom.
   return ``False`` to skip the record.
 * :func:`write_jsonl` -- whole-file rewrite (used by readers that
   compact, e.g. the ledger's oldest-run eviction).
+* :func:`write_jsonl_atomic` -- the same rewrite via a temporary file
+  and ``os.replace``, so a reader (or a kill) mid-rewrite sees either
+  the old segment or the new one, never a half-written file.
+* :func:`cap_jsonl` -- the shared size-cap/compaction step: rewrite a
+  stream in place keeping the newest records under a count and/or byte
+  cap, oldest evicted first, with a counter hook for the eviction
+  tally.  Both the run ledger's oldest-run eviction and the persistent
+  cache's segment compaction are this one helper.
 * :class:`JsonlAppender` -- the thread-safe append-mode writer:
   open-append, write + flush per record, count what was written.
 """
@@ -25,6 +33,7 @@ This module is the single home for that idiom.
 from __future__ import annotations
 
 import json
+import os
 import threading
 from typing import Callable, Iterable, Optional
 
@@ -90,6 +99,72 @@ def write_jsonl(path: str, records: Iterable[dict]) -> int:
     return count
 
 
+def write_jsonl_atomic(path: str, records: Iterable[dict]) -> int:
+    """Rewrite *path* with *records* via temp-file + atomic rename.
+
+    A reader that races the rewrite (or a kill that lands mid-write)
+    sees either the complete old file or the complete new one.  The
+    temporary file lives next to *path* so ``os.replace`` never
+    crosses a filesystem boundary.
+    """
+    tmp_path = f"{path}.tmp.{os.getpid()}"
+    count = 0
+    try:
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            for record in records:
+                handle.write(dump_line(record) + "\n")
+                count += 1
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    finally:
+        if os.path.exists(tmp_path):
+            os.remove(tmp_path)
+    return count
+
+
+def cap_jsonl(path: str, records: list, *,
+              max_records: Optional[int] = None,
+              max_bytes: Optional[int] = None,
+              counter: Optional[str] = None,
+              always_rewrite: bool = False) -> int:
+    """Size-cap a JSONL stream in place, oldest records evicted first.
+
+    *records* is the stream's current content, oldest first (usually
+    from :func:`read_jsonl`).  The newest records that fit under
+    *max_records* and/or *max_bytes* (serialized line bytes including
+    newlines) survive; the rest are evicted and counted on the obs
+    counter named by *counter* (a no-op when no collector is
+    installed).  The file is only rewritten when something was evicted
+    -- the common under-cap append stays a single flushed write --
+    unless *always_rewrite* forces the rewrite (compaction passes use
+    this to drop superseded or corrupt lines even when the cap holds).
+    Rewrites are atomic (:func:`write_jsonl_atomic`).  Returns how
+    many records were evicted.
+    """
+    survivors = list(records)
+    evicted = 0
+    if max_records is not None and len(survivors) > max_records:
+        evicted += len(survivors) - max_records
+        survivors = survivors[len(survivors) - max_records:]
+    if max_bytes is not None:
+        sizes = [len(dump_line(record)) + 1 for record in survivors]
+        total = sum(sizes)
+        drop = 0
+        while drop < len(survivors) and total > max_bytes:
+            total -= sizes[drop]
+            drop += 1
+        if drop:
+            evicted += drop
+            survivors = survivors[drop:]
+    if evicted or always_rewrite:
+        write_jsonl_atomic(path, survivors)
+    if evicted and counter is not None:
+        from repro import obs
+        obs.counter(counter).inc(evicted)
+    return evicted
+
+
 class JsonlAppender:
     """Thread-safe append-mode JSONL writer, flushed per record.
 
@@ -109,7 +184,15 @@ class JsonlAppender:
 
     def append(self, record: dict) -> None:
         """Write one record as a flushed JSONL line."""
-        line = dump_line(record)
+        self.append_line(dump_line(record))
+
+    def append_line(self, line: str) -> None:
+        """Write one pre-serialized line, flushed.
+
+        The persistent cache uses this to write lines it has already
+        serialized (its per-record checksum covers the exact bytes),
+        including deliberately torn lines under chaos fault injection.
+        """
         with self._lock:
             self._handle.write(line + "\n")
             self._handle.flush()

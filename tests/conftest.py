@@ -31,6 +31,17 @@ def _isolated_run_ledger(tmp_path, monkeypatch):
     monkeypatch.setenv("FEAM_LEDGER_DIR", str(tmp_path / "ledger"))
 
 
+@pytest.fixture(autouse=True)
+def _isolated_persistent_cache(monkeypatch):
+    """Keep the persistent evaluation cache out of tests by default.
+
+    A developer's ``FEAM_CACHE_DIR`` must never leak warm cache state
+    into the suite; tests that exercise the store opt in explicitly
+    with ``--cache-dir`` or their own ``PersistentStore``.
+    """
+    monkeypatch.delenv("FEAM_CACHE_DIR", raising=False)
+
+
 @pytest.fixture(scope="session")
 def paper_sites():
     """The five Table II sites (session-shared; treat as read-only)."""

@@ -69,7 +69,9 @@ class TestChaosVerb:
         journal = tmp_path / "chaos.jsonl"
         code, out_full, _ = run_chaos(capsys, "--journal", str(journal))
         assert code == EXIT_OK
-        assert len(journal.read_text().splitlines()) == 5
+        lines = journal.read_text().splitlines()
+        assert len(lines) == 6  # identity header + 5 cells
+        assert "journal_header" in lines[0]
         code, out_resumed, err = run_chaos(capsys, "--resume",
                                            str(journal))
         assert code == EXIT_OK
@@ -107,7 +109,9 @@ class TestMatrixCheckpointFlags:
         assert feam_main(["matrix", "--binaries", "1",
                           "--journal", str(journal)]) == EXIT_OK
         full = capsys.readouterr().out
-        assert len(journal.read_text().splitlines()) == 5
+        lines = journal.read_text().splitlines()
+        assert len(lines) == 6  # identity header + 5 cells
+        assert "journal_header" in lines[0]
         assert feam_main(["matrix", "--binaries", "1",
                           "--resume", str(journal)]) == EXIT_OK
         resumed = capsys.readouterr().out
